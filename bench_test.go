@@ -1,0 +1,233 @@
+package binetrees
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"binetrees/internal/coll"
+	"binetrees/internal/core"
+	"binetrees/internal/fabric"
+	"binetrees/internal/harness"
+)
+
+// Execution microbenchmarks: real collective executions on the in-process
+// fabric, one sub-benchmark per algorithm family, matching the paper's
+// per-collective comparisons.
+
+func benchAllreduce(b *testing.B, algo string, p, n int) {
+	b.Helper()
+	a, ok := coll.Find(coll.Registry(), coll.CAllreduce, algo)
+	if !ok {
+		b.Fatalf("algorithm %s not registered", algo)
+	}
+	run, err := a.Make(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := fabric.NewMem(p)
+	defer f.Close()
+	b.SetBytes(int64(4 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fabric.Run(f, func(c fabric.Comm) error {
+			return run(coll.Offset(c, i<<16), 0, make([]int32, n), nil, coll.OpSum)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	const p, n = 64, 1 << 14
+	for _, algo := range []string{"bine-bw", "bine-lat", "rabenseifner", "recursive-doubling", "ring", "swing"} {
+		b.Run(algo, func(b *testing.B) { benchAllreduce(b, algo, p, n) })
+	}
+}
+
+func BenchmarkReduceScatterStrategies(b *testing.B) {
+	// The four non-contiguous-data strategies of Sec. 4.3.1 head to head.
+	const p, n = 64, 1 << 14
+	for _, algo := range []string{"bine-permute", "bine-send", "bine-block", "bine-two-trans", "recursive-halving"} {
+		a, ok := coll.Find(coll.Registry(), coll.CReduceScatter, algo)
+		if !ok {
+			b.Fatalf("algorithm %s not registered", algo)
+		}
+		b.Run(algo, func(b *testing.B) {
+			run, err := a.Make(p, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f := fabric.NewMem(p)
+			defer f.Close()
+			b.SetBytes(int64(4 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := fabric.Run(f, func(c fabric.Comm) error {
+					out := make([]int32, n/p)
+					return run(coll.Offset(c, i<<16), 0, make([]int32, n), out, coll.OpSum)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBcastTrees(b *testing.B) {
+	const p, n = 128, 1 << 12
+	for _, kind := range []core.Kind{core.BineDH, core.BinomialDD, core.BinomialDH} {
+		b.Run(kind.String(), func(b *testing.B) {
+			tree := core.MustTree(kind, p, 0)
+			f := fabric.NewMem(p)
+			defer f.Close()
+			b.SetBytes(int64(4 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := fabric.Run(f, func(c fabric.Comm) error {
+					return coll.Bcast(coll.Offset(c, i<<16), tree, make([]int32, n))
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCoreConstruction(b *testing.B) {
+	// Schedule construction cost (amortized once per communicator in MPI).
+	b.Run("tree-bine-dh-4096", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewTree(core.BineDH, 4096, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("butterfly-bine-dd-4096", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewButterfly(core.BflyBineDD, 4096); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("negabinary-roundtrip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if core.NBToRank(core.RankToNB(i&1023, 1024), 1024) != i&1023 {
+				b.Fatal("roundtrip")
+			}
+		}
+	})
+}
+
+// Paper-artifact benchmarks: one per table and figure, each timing the full
+// regeneration of that artifact (quick sweep; `binebench -full` runs the
+// paper-scale version).
+
+func benchArtifact(b *testing.B, run func(w io.Writer, opts harness.Options) error) {
+	b.Helper()
+	opts := harness.Options{Quick: true}
+	for i := 0; i < b.N; i++ {
+		if err := run(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig01Broadcast(b *testing.B) {
+	benchArtifact(b, func(w io.Writer, _ harness.Options) error { return harness.Fig1(w) })
+}
+
+func BenchmarkEq2Distances(b *testing.B) {
+	benchArtifact(b, func(w io.Writer, _ harness.Options) error { return harness.Eq2(w) })
+}
+
+func BenchmarkFig05AllocationStudy(b *testing.B) {
+	benchArtifact(b, harness.Fig5)
+}
+
+func BenchmarkTable3LUMI(b *testing.B) {
+	benchArtifact(b, func(w io.Writer, o harness.Options) error {
+		return harness.TableBinomial(w, harness.LUMI(), o)
+	})
+}
+
+func BenchmarkFig09aHeatmapLUMI(b *testing.B) {
+	benchArtifact(b, func(w io.Writer, o harness.Options) error {
+		return harness.HeatmapAllreduce(w, harness.LUMI(), o)
+	})
+}
+
+func BenchmarkFig09bBoxplotsLUMI(b *testing.B) {
+	benchArtifact(b, func(w io.Writer, o harness.Options) error {
+		return harness.Boxplots(w, harness.LUMI(), o)
+	})
+}
+
+func BenchmarkTable4Leonardo(b *testing.B) {
+	benchArtifact(b, func(w io.Writer, o harness.Options) error {
+		return harness.TableBinomial(w, harness.Leonardo(), o)
+	})
+}
+
+func BenchmarkFig10aHeatmapLeonardo(b *testing.B) {
+	benchArtifact(b, func(w io.Writer, o harness.Options) error {
+		return harness.HeatmapAllreduce(w, harness.Leonardo(), o)
+	})
+}
+
+func BenchmarkFig10bBoxplotsLeonardo(b *testing.B) {
+	benchArtifact(b, func(w io.Writer, o harness.Options) error {
+		return harness.Boxplots(w, harness.Leonardo(), o)
+	})
+}
+
+func BenchmarkTable5MareNostrum(b *testing.B) {
+	benchArtifact(b, func(w io.Writer, o harness.Options) error {
+		return harness.TableBinomial(w, harness.MareNostrum(), o)
+	})
+}
+
+func BenchmarkFig11aBoxplotsMareNostrum(b *testing.B) {
+	benchArtifact(b, func(w io.Writer, o harness.Options) error {
+		return harness.Boxplots(w, harness.MareNostrum(), o)
+	})
+}
+
+func BenchmarkFig11bFugaku(b *testing.B) {
+	benchArtifact(b, harness.Fig11b)
+}
+
+func BenchmarkFig14Strategies(b *testing.B) {
+	benchArtifact(b, harness.Fig14)
+}
+
+func BenchmarkHierarchicalAllreduce(b *testing.B) {
+	benchArtifact(b, harness.Hier)
+}
+
+func BenchmarkAppDTorus(b *testing.B) {
+	benchArtifact(b, func(w io.Writer, _ harness.Options) error { return harness.AppD(w) })
+}
+
+// BenchmarkPublicAPI measures the façade overhead end to end.
+func BenchmarkPublicAPI(b *testing.B) {
+	for _, p := range []int{16, 64} {
+		b.Run(fmt.Sprintf("allreduce-p%d", p), func(b *testing.B) {
+			cl := NewCluster(p)
+			defer cl.Close()
+			n := p * 64
+			b.SetBytes(int64(4 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := cl.Run(func(r *Rank) error {
+					return r.Allreduce(make([]int32, n))
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

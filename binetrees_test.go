@@ -1,0 +1,258 @@
+package binetrees
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fill(r, n int) []int32 {
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = int32(r*100 + i)
+	}
+	return v
+}
+
+func sumAll(p, n int) []int32 {
+	acc := make([]int32, n)
+	for r := 0; r < p; r++ {
+		for i, v := range fill(r, n) {
+			acc[i] += v
+		}
+	}
+	return acc
+}
+
+func TestClusterAllreduceDefaults(t *testing.T) {
+	for _, p := range []int{4, 16} {
+		for _, n := range []int{4, 16 * 64} { // small → bine-lat, large → bine-bw
+			cl := NewCluster(p)
+			want := sumAll(p, n)
+			err := cl.Run(func(r *Rank) error {
+				buf := fill(r.ID(), n)
+				if err := r.Allreduce(buf); err != nil {
+					return err
+				}
+				for i := range want {
+					if buf[i] != want[i] {
+						return fmt.Errorf("p=%d n=%d elem %d: %d != %d", p, n, i, buf[i], want[i])
+					}
+				}
+				return nil
+			})
+			cl.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestClusterAllCollectives(t *testing.T) {
+	p, bs := 8, 4
+	n := p * bs
+	cl := NewCluster(p)
+	defer cl.Close()
+	want := sumAll(p, n)
+	err := cl.Run(func(r *Rank) error {
+		me := r.ID()
+		// Bcast with a non-zero root.
+		buf := make([]int32, n)
+		if me == 3 {
+			copy(buf, fill(3, n))
+		}
+		if err := r.Bcast(buf, WithRoot(3)); err != nil {
+			return err
+		}
+		for i, v := range fill(3, n) {
+			if buf[i] != v {
+				return fmt.Errorf("bcast elem %d", i)
+			}
+		}
+		// Reduce with max.
+		out := make([]int32, n)
+		if err := r.Reduce(fill(me, n), out, WithOp(OpMax)); err != nil {
+			return err
+		}
+		if me == 0 {
+			for i, v := range fill(p-1, n) {
+				if out[i] != v {
+					return fmt.Errorf("reduce elem %d: %d != %d", i, out[i], v)
+				}
+			}
+		}
+		// Gather / scatter round trip.
+		full := make([]int32, n)
+		if err := r.Gather(fill(me, bs), full); err != nil {
+			return err
+		}
+		own := make([]int32, bs)
+		if err := r.Scatter(full, own); err != nil {
+			return err
+		}
+		if me == 0 {
+			// only the root's full/own are defined end to end here
+			for i, v := range fill(0, bs) {
+				if own[i] != v {
+					return fmt.Errorf("scatter elem %d", i)
+				}
+			}
+		}
+		// Reduce-scatter and allgather.
+		rs := make([]int32, bs)
+		if err := r.ReduceScatter(fill(me, n), rs); err != nil {
+			return err
+		}
+		for i := 0; i < bs; i++ {
+			if rs[i] != want[me*bs+i] {
+				return fmt.Errorf("reduce-scatter elem %d", i)
+			}
+		}
+		ag := make([]int32, n)
+		if err := r.Allgather(fill(me, bs), ag); err != nil {
+			return err
+		}
+		for o := 0; o < p; o++ {
+			for i, v := range fill(o, bs) {
+				if ag[o*bs+i] != v {
+					return fmt.Errorf("allgather block %d elem %d", o, i)
+				}
+			}
+		}
+		// Alltoall.
+		a2a := make([]int32, n)
+		if err := r.Alltoall(fill(me, n), a2a); err != nil {
+			return err
+		}
+		for o := 0; o < p; o++ {
+			src := fill(o, n)
+			for i := 0; i < bs; i++ {
+				if a2a[o*bs+i] != src[me*bs+i] {
+					return fmt.Errorf("alltoall block %d elem %d", o, i)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterExplicitAlgorithms(t *testing.T) {
+	p, n := 8, 32
+	want := sumAll(p, n)
+	for _, name := range Algorithms(Allreduce) {
+		cl := NewCluster(p)
+		err := cl.Run(func(r *Rank) error {
+			buf := fill(r.ID(), n)
+			if err := r.Allreduce(buf, WithAlgorithm(name)); err != nil {
+				return err
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					return fmt.Errorf("%s elem %d", name, i)
+				}
+			}
+			return nil
+		})
+		cl.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if len(Algorithms(Allreduce)) < 5 {
+		t.Error("too few allreduce algorithms exposed")
+	}
+}
+
+func TestClusterUnknownAlgorithm(t *testing.T) {
+	cl := NewCluster(2)
+	defer cl.Close()
+	err := cl.Run(func(r *Rank) error {
+		got := r.Allreduce(make([]int32, 2), WithAlgorithm("no-such"))
+		if got == nil {
+			return fmt.Errorf("unknown algorithm accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterRecording(t *testing.T) {
+	cl := NewCluster(4)
+	defer cl.Close()
+	cl.EnableRecording()
+	if err := cl.Run(func(r *Rank) error {
+		return r.Allreduce(make([]int32, 8))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := cl.Trace()
+	if tr == nil || len(tr.Records) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	if tr.P != 4 {
+		t.Fatalf("trace P = %d", tr.P)
+	}
+}
+
+func TestClusterNonPowerOfTwoDefaults(t *testing.T) {
+	p, n := 6, 12
+	want := sumAll(p, n)
+	cl := NewCluster(p)
+	defer cl.Close()
+	err := cl.Run(func(r *Rank) error {
+		// Rooted collectives fall back to non-power-of-two trees; the
+		// alltoall default switches to Bruck.
+		buf := make([]int32, n)
+		if r.ID() == 0 {
+			copy(buf, fill(0, n))
+		}
+		if err := r.Bcast(buf); err != nil {
+			return err
+		}
+		out := make([]int32, n)
+		if err := r.Reduce(fill(r.ID(), n), out); err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			for i := range want {
+				if out[i] != want[i] {
+					return fmt.Errorf("reduce elem %d", i)
+				}
+			}
+		}
+		a2a := make([]int32, n)
+		return r.Alltoall(fill(r.ID(), n), a2a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCluster(t *testing.T) {
+	p, n := 4, 16
+	cl, err := NewTCPCluster(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	want := sumAll(p, n)
+	if err := cl.Run(func(r *Rank) error {
+		buf := fill(r.ID(), n)
+		if err := r.Allreduce(buf); err != nil {
+			return err
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				return fmt.Errorf("elem %d", i)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Command binebench regenerates the tables and figures of the Bine Trees
+// paper (SC '25) on the simulated systems. Each experiment prints a text
+// rendering of the corresponding paper artifact; see EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	binebench -experiment all           # everything, quick sweep
+//	binebench -experiment table3 -full  # one artifact at full paper scale
+//
+// Experiments: fig1, eq2, fig5, table3, fig9a, fig9b, table4, fig10a,
+// fig10b, table5, fig11a, fig11b, fig14, hier, ppn, appD, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"binetrees/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which paper artifact to regenerate")
+	full := flag.Bool("full", false, "run the full paper-scale sweep (slower) instead of the quick one")
+	flag.Parse()
+	opts := harness.Options{Quick: !*full}
+	if err := run(os.Stdout, *experiment, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "binebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, experiment string, opts harness.Options) error {
+	switch experiment {
+	case "all":
+		return harness.RunAll(w, opts)
+	case "fig1":
+		return harness.Fig1(w)
+	case "eq2":
+		return harness.Eq2(w)
+	case "fig5":
+		return harness.Fig5(w, opts)
+	case "table3":
+		return harness.TableBinomial(w, harness.LUMI(), opts)
+	case "fig9a":
+		return harness.HeatmapAllreduce(w, harness.LUMI(), opts)
+	case "fig9b":
+		return harness.Boxplots(w, harness.LUMI(), opts)
+	case "table4":
+		return harness.TableBinomial(w, harness.Leonardo(), opts)
+	case "fig10a":
+		return harness.HeatmapAllreduce(w, harness.Leonardo(), opts)
+	case "fig10b":
+		return harness.Boxplots(w, harness.Leonardo(), opts)
+	case "table5":
+		return harness.TableBinomial(w, harness.MareNostrum(), opts)
+	case "fig11a":
+		return harness.Boxplots(w, harness.MareNostrum(), opts)
+	case "fig11b":
+		return harness.Fig11b(w, opts)
+	case "fig14":
+		return harness.Fig14(w, opts)
+	case "hier":
+		return harness.Hier(w, opts)
+	case "ppn":
+		return harness.PPN(w, opts)
+	case "appD":
+		return harness.AppD(w)
+	}
+	return fmt.Errorf("unknown experiment %q", experiment)
+}

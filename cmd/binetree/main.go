@@ -1,0 +1,115 @@
+// Command binetree inspects Bine and binomial tree/butterfly schedules: it
+// prints, for a given rank count, the per-step communication pairs, each
+// rank's parent and join step, the per-step modular distances, and (for
+// butterflies) the block send sets — a debugging lens onto Sections 2 and 3
+// of the paper.
+//
+// Usage:
+//
+//	binetree -p 16 -kind bine-dh -root 0
+//	binetree -p 8 -butterfly bine-dd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"binetrees/internal/core"
+)
+
+func main() {
+	p := flag.Int("p", 16, "number of ranks")
+	kind := flag.String("kind", "bine-dh", "tree kind: bine-dh, bine-dd, binomial-dd, binomial-dh")
+	bfly := flag.String("butterfly", "", "instead of a tree, print a butterfly: bine-dh, bine-dd, binomial-dh, binomial-dd, swing")
+	root := flag.Int("root", 0, "tree root")
+	flag.Parse()
+	if err := run(*p, *kind, *bfly, *root); err != nil {
+		fmt.Fprintln(os.Stderr, "binetree:", err)
+		os.Exit(1)
+	}
+}
+
+var treeKinds = map[string]core.Kind{
+	"bine-dh":     core.BineDH,
+	"bine-dd":     core.BineDD,
+	"binomial-dd": core.BinomialDD,
+	"binomial-dh": core.BinomialDH,
+}
+
+var bflyKinds = map[string]core.ButterflyKind{
+	"bine-dh":     core.BflyBineDH,
+	"bine-dd":     core.BflyBineDD,
+	"binomial-dh": core.BflyBinomialDH,
+	"binomial-dd": core.BflyBinomialDD,
+	"swing":       core.BflySwing,
+}
+
+func run(p int, kindName, bflyName string, root int) error {
+	if bflyName != "" {
+		return printButterfly(p, bflyName)
+	}
+	kind, ok := treeKinds[kindName]
+	if !ok {
+		return fmt.Errorf("unknown tree kind %q", kindName)
+	}
+	t, err := core.NewTree(kind, p, root)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s tree over %d ranks, root %d, %d steps\n\n", kindName, p, root, t.Steps)
+	for step := 0; step < t.Steps; step++ {
+		pairs := t.StepSenders(step)
+		var parts []string
+		maxDist := 0
+		for _, pr := range pairs {
+			parts = append(parts, fmt.Sprintf("%d→%d", pr[0], pr[1]))
+			if d := core.ModDist(pr[0], pr[1], p); d > maxDist {
+				maxDist = d
+			}
+		}
+		fmt.Printf("step %d (max modular distance %d): %s\n", step, maxDist, strings.Join(parts, "  "))
+	}
+	fmt.Printf("\n%-6s %-8s %-6s %-10s %s\n", "rank", "parent", "join", "negabinary", "subtree (circular runs)")
+	for r := 0; r < p; r++ {
+		nb := core.RankToNB(core.Mod(r-root, p), p)
+		var runs []string
+		for _, run := range t.SubtreeRanges(r) {
+			if run.Len == 1 {
+				runs = append(runs, fmt.Sprintf("%d", run.Start))
+			} else {
+				runs = append(runs, fmt.Sprintf("%d..%d", run.Start, core.Mod(run.Start+run.Len-1, p)))
+			}
+		}
+		fmt.Printf("%-6d %-8d %-6d %0*b %s\n", r, t.Parent[r], t.JoinStep[r], t.Steps, nb, strings.Join(runs, ","))
+	}
+	return nil
+}
+
+func printButterfly(p int, name string) error {
+	kind, ok := bflyKinds[name]
+	if !ok {
+		return fmt.Errorf("unknown butterfly kind %q", name)
+	}
+	b, err := core.NewButterfly(kind, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s butterfly over %d ranks, %d steps\n\n", name, p, b.S)
+	for i := 0; i < b.S; i++ {
+		fmt.Printf("step %d (modular distance %d):\n", i, b.ModDistAt(i))
+		for r := 0; r < p; r++ {
+			q := b.Partner(r, i)
+			if r < q {
+				fmt.Printf("  %d ⇄ %d   %d sends blocks %v\n", r, q, r, b.SendSet(r, i))
+			}
+		}
+	}
+	fmt.Printf("\npermute positions (block → reverse(ν)): ")
+	for blk := 0; blk < p; blk++ {
+		fmt.Printf("%d→%d ", blk, b.PermutedPosition(blk))
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,94 @@
+package binetrees_test
+
+import (
+	"fmt"
+
+	"binetrees"
+)
+
+// The smallest complete program: an allreduce across 8 in-process ranks
+// with the default Bine algorithms.
+func ExampleCluster() {
+	cl := binetrees.NewCluster(8)
+	defer cl.Close()
+	err := cl.Run(func(r *binetrees.Rank) error {
+		buf := []int32{int32(r.ID()), 1}
+		if err := r.Allreduce(buf); err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			fmt.Println(buf[0], buf[1])
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: 28 8
+}
+
+// Rooted collectives take options: the root rank, the reduction operator,
+// or a specific algorithm from the registry.
+func ExampleRank_Reduce() {
+	cl := binetrees.NewCluster(4)
+	defer cl.Close()
+	err := cl.Run(func(r *binetrees.Rank) error {
+		in := []int32{int32(r.ID())}
+		out := make([]int32, 1)
+		if err := r.Reduce(in, out, binetrees.WithRoot(2), binetrees.WithOp(binetrees.OpMax)); err != nil {
+			return err
+		}
+		if r.ID() == 2 {
+			fmt.Println("max:", out[0])
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: max: 3
+}
+
+// Recording captures the communication schedule so the paper's headline
+// metric — traffic crossing group boundaries — can be computed for any
+// rank-to-group placement.
+func ExampleGlobalTraffic() {
+	cl := binetrees.NewCluster(8)
+	defer cl.Close()
+	cl.EnableRecording()
+	err := cl.Run(func(r *binetrees.Rank) error {
+		buf := make([]int32, 8)
+		return r.Allreduce(buf, binetrees.WithAlgorithm("bine-bw"))
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	groupOf := []int{0, 0, 0, 0, 1, 1, 1, 1} // two groups of four
+	global, total := binetrees.GlobalTraffic(cl.Trace(), groupOf)
+	fmt.Printf("global %d of %d elements\n", global, total)
+	// Output: global 24 of 112 elements
+}
+
+// Torus collectives treat ranks as coordinates (Appendix D of the paper).
+func ExampleRank_TorusAllreduce() {
+	cl := binetrees.NewCluster(16)
+	defer cl.Close()
+	err := cl.Run(func(r *binetrees.Rank) error {
+		buf := make([]int32, 16)
+		for i := range buf {
+			buf[i] = 1
+		}
+		if err := r.TorusAllreduce([]int{4, 4}, buf); err != nil {
+			return err
+		}
+		if r.ID() == 5 {
+			fmt.Println("sum:", buf[0])
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: sum: 16
+}

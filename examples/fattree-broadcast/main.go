@@ -1,0 +1,55 @@
+// Fat-tree broadcast: reproduces the paper's motivating example (Fig. 1) on
+// the public API. Eight ranks sit two-per-leaf on a 2:1 oversubscribed fat
+// tree; the example records the communication trace of each broadcast tree
+// and reports the bytes crossing leaf boundaries: 6n for the
+// distance-doubling binomial tree (Open MPI), 3n for the distance-halving
+// one (MPICH) and the Bine tree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"binetrees"
+)
+
+func main() {
+	const (
+		p = 8
+		n = 1024 // elements
+	)
+	// Two nodes per leaf switch: ranks 0,1 share a leaf, 2,3 share the
+	// next, and so on.
+	groupOf := make([]int, p)
+	for i := range groupOf {
+		groupOf[i] = i / 2
+	}
+	fmt.Printf("broadcast of %d elements over %d ranks, 2 ranks per leaf (Fig. 1 scenario)\n\n", n, p)
+	for _, algo := range []string{"binomial-dd", "binomial-dh", "bine-tree"} {
+		cl := binetrees.NewCluster(p)
+		cl.EnableRecording()
+		err := cl.Run(func(r *binetrees.Rank) error {
+			buf := make([]int32, n)
+			if r.ID() == 0 {
+				for i := range buf {
+					buf[i] = int32(i)
+				}
+			}
+			if err := r.Bcast(buf, binetrees.WithAlgorithm(algo)); err != nil {
+				return err
+			}
+			if buf[n-1] != int32(n-1) {
+				return fmt.Errorf("rank %d did not receive the vector", r.ID())
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		global, total := binetrees.GlobalTraffic(cl.Trace(), groupOf)
+		cl.Close()
+		fmt.Printf("  %-12s  %5.1fn bytes on global links (%d of %d elements)\n",
+			algo, float64(global)/float64(n), global, total)
+	}
+	fmt.Println("\npaper: 6n for distance doubling vs 3n for distance halving")
+}

@@ -1,0 +1,205 @@
+package coll
+
+import (
+	"fmt"
+
+	"binetrees/internal/core"
+	"binetrees/internal/fabric"
+)
+
+// Appendix C fold: butterfly collectives on non-power-of-two rank counts.
+// The classic technique the paper describes for butterflies: the last
+// p − p' ranks (p' = 2^⌊log2 p⌋) fold their contribution onto the first
+// p − p' ranks, the power-of-two collective runs among the first p' ranks,
+// and the result unfolds back. This doubles the transferred volume for the
+// folded ranks — exactly the overhead the paper notes — which is why the
+// even-p duplicate-prune construction is preferred for trees.
+
+// FoldedAllreduce runs an allreduce over any rank count: extras fold in,
+// the inner power-of-two Bine allreduce runs, and results unfold.
+func FoldedAllreduce(c fabric.Comm, kind core.ButterflyKind, buf []int32, op Op) error {
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	if _, pow2 := core.Log2(p); pow2 {
+		return allreduceAuto(c, kind, buf, op)
+	}
+	pp := 1 << uint(core.Log2Floor(p))
+	extra := p - pp
+	r := c.Rank()
+	x := &ctx{c: c}
+	if r >= pp {
+		// Fold: contribute the whole vector to the partner, then wait for
+		// the final result.
+		x.send(r-pp, 0, 0, buf)
+		x.recv(r-pp, 1, 0, buf)
+		return x.err
+	}
+	if r < extra {
+		tmp := make([]int32, len(buf))
+		x.recv(r+pp, 0, 0, tmp)
+		if x.err != nil {
+			return x.err
+		}
+		op.Apply(buf, tmp)
+	}
+	inner, err := Group(Offset(c, phaseStride), firstRanks(pp))
+	if err != nil {
+		return err
+	}
+	if err := allreduceAuto(inner, kind, buf, op); err != nil {
+		return err
+	}
+	if r < extra {
+		x.send(r+pp, 1, 0, buf)
+	}
+	return x.err
+}
+
+// allreduceAuto picks the bandwidth-optimal reduce-scatter+allgather when
+// the vector divides evenly, falling back to recursive doubling.
+func allreduceAuto(c fabric.Comm, kind core.ButterflyKind, buf []int32, op Op) error {
+	b, err := core.NewButterfly(kind, c.Size())
+	if err != nil {
+		return err
+	}
+	if len(buf) >= c.Size() && len(buf)%c.Size() == 0 {
+		return AllreduceRsAg(c, b, buf, op)
+	}
+	return AllreduceRecDoubling(c, b, buf, op)
+}
+
+// FoldedReduceScatter runs a reduce-scatter over any rank count. The inner
+// power-of-two phase reduce-scatters whole fold-group shares; a final
+// scatter step distributes each share's blocks to the folded ranks.
+func FoldedReduceScatter(c fabric.Comm, kind core.ButterflyKind, strat Strategy, buf, out []int32, op Op) error {
+	p := c.Size()
+	if len(buf)%p != 0 || len(buf) == 0 {
+		return fmt.Errorf("coll: vector of %d elements not divisible into %d blocks", len(buf), p)
+	}
+	if _, pow2 := core.Log2(p); pow2 {
+		b, err := core.NewButterfly(kind, p)
+		if err != nil {
+			return err
+		}
+		return ReduceScatter(c, b, strat, buf, out, op)
+	}
+	bs := len(buf) / p
+	if len(out) != bs {
+		return fmt.Errorf("coll: reduce-scatter out has %d elements, want %d", len(out), bs)
+	}
+	pp := 1 << uint(core.Log2Floor(p))
+	extra := p - pp
+	r := c.Rank()
+	x := &ctx{c: c}
+	w := buf
+	if r >= pp {
+		x.send(r-pp, 0, 0, buf)
+		x.recv(r-pp, 1, 0, out)
+		return x.err
+	}
+	if r < extra {
+		w = append([]int32(nil), buf...)
+		tmp := make([]int32, len(buf))
+		x.recv(r+pp, 0, 0, tmp)
+		if x.err != nil {
+			return x.err
+		}
+		op.Apply(w, tmp)
+	}
+	// Inner phase: p' ranks, p' shares. Share i covers the original blocks
+	// of inner rank i plus (for i < extra) those of folded rank i+p'.
+	shareLen := 2 * bs
+	share := make([]int32, shareLen)
+	inner, err := Group(Offset(c, phaseStride), firstRanks(pp))
+	if err != nil {
+		return err
+	}
+	b, err := core.NewButterfly(kind, pp)
+	if err != nil {
+		return err
+	}
+	// Repack: inner share i = [block i, block i+p' (zero-padded when absent)].
+	packed := make([]int32, pp*shareLen)
+	for i := 0; i < pp; i++ {
+		copy(packed[i*shareLen:], w[i*bs:(i+1)*bs])
+		if i < extra {
+			copy(packed[i*shareLen+bs:], w[(i+pp)*bs:(i+pp+1)*bs])
+		}
+	}
+	if err := ReduceScatter(inner, b, strat, packed, share, op); err != nil {
+		return err
+	}
+	copy(out, share[:bs])
+	if r < extra {
+		x.send(r+pp, 1, 0, share[bs:])
+	}
+	return x.err
+}
+
+// FoldedAllgather runs an allgather over any rank count: folded ranks seed
+// their block through their partner, which contributes a doubled share to
+// the inner power-of-two allgather and forwards the assembled vector back.
+func FoldedAllgather(c fabric.Comm, kind core.ButterflyKind, strat Strategy, in, out []int32) error {
+	p := c.Size()
+	bs := len(in)
+	if len(out) != p*bs {
+		return fmt.Errorf("coll: allgather out has %d elements, want %d", len(out), p*bs)
+	}
+	if _, pow2 := core.Log2(p); pow2 {
+		b, err := core.NewButterfly(kind, p)
+		if err != nil {
+			return err
+		}
+		return Allgather(c, b, strat, in, out)
+	}
+	pp := 1 << uint(core.Log2Floor(p))
+	extra := p - pp
+	r := c.Rank()
+	x := &ctx{c: c}
+	if r >= pp {
+		x.send(r-pp, 0, 0, in)
+		x.recv(r-pp, 1, 0, out)
+		return x.err
+	}
+	share := make([]int32, 2*bs)
+	copy(share, in)
+	if r < extra {
+		x.recv(r+pp, 0, 0, share[bs:])
+		if x.err != nil {
+			return x.err
+		}
+	}
+	inner, err := Group(Offset(c, phaseStride), firstRanks(pp))
+	if err != nil {
+		return err
+	}
+	b, err := core.NewButterfly(kind, pp)
+	if err != nil {
+		return err
+	}
+	packed := make([]int32, pp*2*bs)
+	if err := Allgather(inner, b, strat, share, packed); err != nil {
+		return err
+	}
+	// Unpack shares into rank order.
+	for i := 0; i < pp; i++ {
+		copy(out[i*bs:(i+1)*bs], packed[i*2*bs:])
+		if i < extra {
+			copy(out[(i+pp)*bs:(i+pp+1)*bs], packed[i*2*bs+bs:])
+		}
+	}
+	if r < extra {
+		x.send(r+pp, 1, 0, out)
+	}
+	return x.err
+}
+
+func firstRanks(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

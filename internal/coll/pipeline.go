@@ -1,0 +1,62 @@
+package coll
+
+import (
+	"fmt"
+
+	"binetrees/internal/fabric"
+)
+
+// Pipelined broadcasts: the chain and pipeline baselines Open MPI offers
+// alongside the binomial tree. The vector is cut into segments that flow
+// down a chain of ranks as a wavefront; segment s crosses hop h at step
+// s+h, so in the cost model the transfers of one diagonal are concurrent —
+// the classic pipelining effect that hides the chain's linear depth for
+// large vectors.
+
+// DefaultSegments is the segment count used by the pipelined broadcast
+// variants when the vector allows it.
+const DefaultSegments = 16
+
+// PipelineBcast broadcasts buf from root down the chain
+// root, root+1, …, root−1 (ring order) in segments.
+func PipelineBcast(c fabric.Comm, root int, buf []int32, segments int) error {
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	if segments < 1 {
+		return fmt.Errorf("coll: pipeline with %d segments", segments)
+	}
+	if segments > len(buf) {
+		segments = len(buf)
+	}
+	if segments == 0 {
+		segments = 1
+	}
+	r := c.Rank()
+	rel := mod(r-root, p)
+	x := &ctx{c: c}
+	next := (r + 1) % p
+	prev := mod(r-1, p)
+	for s := 0; s < segments; s++ {
+		lo := len(buf) * s / segments
+		hi := len(buf) * (s + 1) / segments
+		step := s + rel // wavefront diagonal
+		if rel > 0 {
+			x.recv(prev, step-1, 0, buf[lo:hi])
+		}
+		if rel < p-1 {
+			x.send(next, step, 0, buf[lo:hi])
+		}
+		if x.err != nil {
+			return x.err
+		}
+	}
+	return nil
+}
+
+// ChainBcast is the unsegmented degenerate chain (one hop per step); it
+// exists as the latency-worst baseline the pipeline improves on.
+func ChainBcast(c fabric.Comm, root int, buf []int32) error {
+	return PipelineBcast(c, root, buf, 1)
+}

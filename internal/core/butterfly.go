@@ -1,0 +1,356 @@
+package core
+
+import "fmt"
+
+// ButterflyKind identifies a butterfly (pairwise-exchange) schedule family.
+type ButterflyKind int
+
+const (
+	// BflyBineDH is the distance-halving Bine butterfly of Sec. 3.1
+	// (Eq. 4): distances shrink roughly by half at each step. Used by the
+	// "two transmissions" strategy of Sec. 4.3.1.
+	BflyBineDH ButterflyKind = iota
+	// BflyBineDD is the distance-doubling Bine butterfly (Eq. 5 /
+	// Appendix A): distances grow, so the early, data-heavy steps of a
+	// reduce-scatter stay local. The Bine allgather is its exact reverse.
+	BflyBineDD
+	// BflyBinomialDH is the classic recursive-halving butterfly: at step i
+	// ranks exchange with the partner differing in bit s−1−i, so the first
+	// exchange spans distance p/2.
+	BflyBinomialDH
+	// BflyBinomialDD is the classic recursive-doubling butterfly: at step i
+	// ranks exchange with the partner differing in bit i.
+	BflyBinomialDD
+	// BflySwing is the Swing schedule (De Sensi et al., NSDI'24), which the
+	// paper compares against: same ±Σ(−2)^k distances as the
+	// distance-doubling Bine butterfly, but its blocks are always
+	// transmitted non-contiguously (no permute/send optimization applies).
+	BflySwing
+)
+
+// String returns the conventional short name of the butterfly kind.
+func (k ButterflyKind) String() string {
+	switch k {
+	case BflyBineDH:
+		return "bfly-bine-dh"
+	case BflyBineDD:
+		return "bfly-bine-dd"
+	case BflyBinomialDH:
+		return "bfly-binomial-dh"
+	case BflyBinomialDD:
+		return "bfly-binomial-dd"
+	case BflySwing:
+		return "bfly-swing"
+	}
+	return fmt.Sprintf("ButterflyKind(%d)", int(k))
+}
+
+// IsBine reports whether the kind uses Bine (negabinary) partner schedules,
+// as opposed to classic binomial bit flips.
+func (k ButterflyKind) IsBine() bool {
+	return k == BflyBineDH || k == BflyBineDD || k == BflySwing
+}
+
+func (k ButterflyKind) isBine() bool { return k.IsBine() }
+
+// Butterfly describes a p-rank pairwise exchange schedule: at every one of
+// the s = log2(p) steps each rank exchanges data with exactly one partner,
+// and the pairing is symmetric (Partner(Partner(r, i), i) == r).
+//
+// A Bine butterfly is the superposition of p Bine trees: even rank r runs
+// the tree rooted at 0 rotated right by r positions, odd rank r runs it
+// mirrored (Sec. 3.1). Block bookkeeping therefore works on rank *offsets*
+// from each rank: rank r owns/sends blocks r±a, with the offset sets defined
+// by the negabinary representation of a (distance-halving) or by ν(a)
+// (distance-doubling). Binomial butterflies use the classic absolute-index
+// hypercube bookkeeping.
+type Butterfly struct {
+	Kind ButterflyKind
+	P    int
+	S    int
+
+	// For Bine kinds: per-step offset sets, precomputed at construction
+	// (they are rank-independent). sendOff[i] lists the offsets a whose
+	// blocks are transmitted at step i; keepOff[i] lists the offsets still
+	// owned after step i. Both are in deterministic (ascending offset)
+	// order.
+	sendOff, keepOff [][]int
+}
+
+// NewButterfly builds a butterfly schedule over p ranks; p must be a power
+// of two (non-power-of-two collectives fold to a power of two before using a
+// butterfly, following Appendix C).
+func NewButterfly(kind ButterflyKind, p int) (*Butterfly, error) {
+	s, ok := Log2(p)
+	if !ok {
+		return nil, fmt.Errorf("core: butterfly over non-power-of-two p=%d", p)
+	}
+	switch kind {
+	case BflyBineDH, BflyBineDD, BflyBinomialDH, BflyBinomialDD, BflySwing:
+	default:
+		return nil, fmt.Errorf("core: unknown butterfly kind %v", kind)
+	}
+	b := &Butterfly{Kind: kind, P: p, S: s}
+	if kind.isBine() {
+		b.sendOff = make([][]int, s)
+		b.keepOff = make([][]int, s)
+		kept := make([]int, 0, p)
+		for a := 0; a < p; a++ {
+			kept = append(kept, a)
+		}
+		for i := 0; i < s; i++ {
+			var nextKept []int
+			for _, a := range kept {
+				switch {
+				case b.offsetSent(a, i):
+					b.sendOff[i] = append(b.sendOff[i], a)
+				case b.offsetKeeps(a, i):
+					nextKept = append(nextKept, a)
+				}
+			}
+			kept = nextKept
+			b.keepOff[i] = kept
+		}
+	}
+	return b, nil
+}
+
+// SendOffsets returns the rank offsets transmitted at step i of a
+// reduce-scatter (Bine kinds only); rank r's transmitted blocks are
+// r±offset. The slice is shared: callers must not modify it.
+func (b *Butterfly) SendOffsets(i int) []int { return b.sendOff[i] }
+
+// KeepOffsets returns the rank offsets still owned after step i (Bine kinds
+// only). The slice is shared: callers must not modify it.
+func (b *Butterfly) KeepOffsets(i int) []int { return b.keepOff[i] }
+
+// SendBlocks returns rank r's step-i transmitted blocks in the fixed
+// offset order both peers can derive independently (no sorting); Bine kinds
+// only. Execution paths use this; SendSet provides the sorted view.
+func (b *Butterfly) SendBlocks(r, i int) []int {
+	off := b.sendOff[i]
+	out := make([]int, len(off))
+	for k, a := range off {
+		out[k] = b.blockAt(r, a)
+	}
+	return out
+}
+
+// KeepBlocks returns rank r's owned blocks after step i in fixed offset
+// order (Bine kinds only).
+func (b *Butterfly) KeepBlocks(r, i int) []int {
+	if i < 0 {
+		out := make([]int, b.P)
+		for k := range out {
+			out[k] = k
+		}
+		return out
+	}
+	off := b.keepOff[i]
+	out := make([]int, len(off))
+	for k, a := range off {
+		out[k] = b.blockAt(r, a)
+	}
+	return out
+}
+
+// MustButterfly is NewButterfly, panicking on error.
+func MustButterfly(kind ButterflyKind, p int) *Butterfly {
+	b, err := NewButterfly(kind, p)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Partner returns the rank that r exchanges with at step i ∈ [0, S).
+//
+// Bine kinds evaluate the paper's closed forms — Eq. 4 (distance-halving)
+// and Eq. 5 (distance-doubling): q = (r ± δ) mod p with + for even and − for
+// odd ranks. Binomial kinds flip the step bit of the rank index.
+func (b *Butterfly) Partner(r, i int) int {
+	switch b.Kind {
+	case BflyBineDH:
+		return b.signed(r, int(BineDeltaDH(i, b.S)))
+	case BflyBineDD, BflySwing:
+		return b.signed(r, int(BineDelta(i)))
+	case BflyBinomialDH:
+		return r ^ (1 << uint(b.S-1-i))
+	default: // BflyBinomialDD
+		return r ^ (1 << uint(i))
+	}
+}
+
+func (b *Butterfly) signed(r, d int) int {
+	if r%2 == 0 {
+		return Mod(r+d, b.P)
+	}
+	return Mod(r-d, b.P)
+}
+
+// ModDistAt returns the modular distance between partners at step i (the
+// same for every rank of the step).
+func (b *Butterfly) ModDistAt(i int) int {
+	return ModDist(0, b.Partner(0, i), b.P)
+}
+
+// offsetKeeps reports whether offset a (from the owning rank) is still owned
+// after step i of a reduce-scatter running down this butterfly.
+//
+// Distance-doubling (Sec. 3.2.3): the kept offsets are those whose ν has the
+// i+1 least significant bits all zero; the offsets sent at step i have those
+// bits equal to 2^i (the ν suffix of the step-i child's subtree).
+// Distance-halving (Sec. 2.3.3): the same with the i+1 *most* significant
+// negabinary bits.
+func (b *Butterfly) offsetKeeps(a, i int) bool {
+	switch b.Kind {
+	case BflyBineDD, BflySwing:
+		return Nu(a, b.P)&Ones(i+1) == 0
+	case BflyBineDH:
+		return RankToNB(a, b.P)>>uint(b.S-1-i) == 0
+	}
+	panic("core: offsetKeeps on binomial butterfly")
+}
+
+func (b *Butterfly) offsetSent(a, i int) bool {
+	switch b.Kind {
+	case BflyBineDD, BflySwing:
+		return Nu(a, b.P)&Ones(i+1) == 1<<uint(i)
+	case BflyBineDH:
+		return RankToNB(a, b.P)>>uint(b.S-1-i) == 1
+	}
+	panic("core: offsetSent on binomial butterfly")
+}
+
+// blockAt maps an offset a to the absolute block index for rank r: r+a for
+// even ranks, r−a for odd ranks (mirrored trees, Sec. 3.1).
+func (b *Butterfly) blockAt(r, a int) int {
+	if r%2 == 0 {
+		return Mod(r+a, b.P)
+	}
+	return Mod(r-a, b.P)
+}
+
+func (b *Butterfly) binomialBit(i int) int {
+	if b.Kind == BflyBinomialDH {
+		return b.S - 1 - i
+	}
+	return i
+}
+
+// SendSet returns the blocks rank r transmits to its partner at step i of a
+// reduce-scatter, in ascending block-index order. Block blk is the block
+// destined for rank blk; SendSet(r, i) ∪ KeepSet(r, i) = KeepSet(r, i−1).
+//
+// For an allgather run as the mirror image (step order reversed, data
+// growing) the same sets describe the blocks received.
+func (b *Butterfly) SendSet(r, i int) []int {
+	var out []int
+	if b.Kind.isBine() {
+		for a := 0; a < b.P; a++ {
+			if b.offsetSent(a, i) {
+				out = append(out, b.blockAt(r, a))
+			}
+		}
+		sortInts(out)
+		return out
+	}
+	// Binomial: blocks matching r on all previous step bits and matching
+	// the partner on the current one.
+	for blk := 0; blk < b.P; blk++ {
+		if b.binomialOwnedBefore(r, blk, i) && (blk>>uint(b.binomialBit(i)))&1 != (r>>uint(b.binomialBit(i)))&1 {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// KeepSet returns the blocks rank r still owns after steps 0..i of a
+// reduce-scatter (ascending block-index order). KeepSet(r, −1) is every
+// block.
+func (b *Butterfly) KeepSet(r, i int) []int {
+	var out []int
+	if b.Kind.isBine() {
+		for a := 0; a < b.P; a++ {
+			owned := true
+			for j := 0; j <= i; j++ {
+				if !b.offsetKeeps(a, j) {
+					owned = false
+					break
+				}
+			}
+			if owned {
+				out = append(out, b.blockAt(r, a))
+			}
+		}
+		sortInts(out)
+		return out
+	}
+	for blk := 0; blk < b.P; blk++ {
+		if b.binomialOwnedBefore(r, blk, i+1) {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+func (b *Butterfly) binomialOwnedBefore(r, blk, i int) bool {
+	for j := 0; j < i; j++ {
+		bit := uint(b.binomialBit(j))
+		if (blk>>bit)&1 != (r>>bit)&1 {
+			return false
+		}
+	}
+	return true
+}
+
+// FinalBlock returns the block rank r owns after a full reduce-scatter down
+// this butterfly. It is r for every kind: Bine offsets end at a = 0,
+// binomial indices end fully constrained to r.
+func (b *Butterfly) FinalBlock(r int) int {
+	if b.Kind.isBine() {
+		return b.blockAt(r, 0)
+	}
+	return r
+}
+
+// PermutedPosition returns where the permute strategy of Sec. 4.3.1 places
+// block blk: position reverse(ν(blk)) for Bine kinds, which turns every
+// distance-doubling send set into a contiguous position range (Fig. 8). For
+// binomial kinds the identity placement is already contiguous under the
+// recursive-halving bit order and is returned unchanged.
+func (b *Butterfly) PermutedPosition(blk int) int {
+	switch b.Kind {
+	case BflyBineDH, BflyBineDD, BflySwing:
+		return int(Reverse(Nu(blk, b.P), b.S))
+	case BflyBinomialDD:
+		// The recursive-doubling bit order walks bits LSB-first; reversing
+		// the block index makes its halves contiguous, mirroring the Bine
+		// case.
+		return int(Reverse(uint64(blk), b.S))
+	default:
+		return blk
+	}
+}
+
+// PermutedInverse returns the block stored at the given permuted position.
+func (b *Butterfly) PermutedInverse(pos int) int {
+	switch b.Kind {
+	case BflyBineDH, BflyBineDD, BflySwing:
+		return NuInverse(Reverse(uint64(pos), b.S), b.P)
+	case BflyBinomialDD:
+		return int(Reverse(uint64(pos), b.S))
+	default:
+		return pos
+	}
+}
+
+func sortInts(v []int) {
+	// Insertion sort: the sets here are small and often nearly sorted;
+	// avoids pulling package sort into this hot path.
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package core implements the paper's primary contribution: the construction
+// of Bine (binomial negabinary) trees and butterflies, together with the
+// negabinary arithmetic they are built on.
+//
+// The package provides:
+//
+//   - negabinary (base −2) encoding and decoding (Sec. 2.3.1 of the paper);
+//   - the rank↔negabinary maps rank2nb / nb2rank for a communicator of p ranks;
+//   - the ν (nu) virtual-rank mapping used by distance-doubling Bine trees
+//     and butterflies (Sec. 3.2.1 and Appendix A);
+//   - tree builders for Bine and binomial trees in both distance-halving and
+//     distance-doubling flavours, including the non-power-of-two handling of
+//     Appendix C and the torus-optimized construction of Appendix D;
+//   - butterfly partner schedules (Eq. 4 and Eq. 5).
+//
+// All identifiers use the paper's notation where practical: p is the number
+// of ranks, s = ceil(log2 p) the number of steps, r a rank identifier.
+package core
+
+import "math/bits"
+
+// oddMask has ones in all odd bit positions (…1010). Adding it and XOR-ing it
+// back converts two's complement to negabinary: in base −2 every odd position
+// contributes a negated power of two, and the add/XOR pair performs exactly
+// the required borrow propagation.
+const oddMask uint64 = 0xAAAAAAAAAAAAAAAA
+
+// EncodeNB returns the negabinary (base −2) representation of v as a bit set:
+// bit i of the result is the coefficient of (−2)^i.
+func EncodeNB(v int64) uint64 {
+	return (uint64(v) + oddMask) ^ oddMask
+}
+
+// DecodeNB is the inverse of EncodeNB: it evaluates a negabinary bit string,
+// i.e. returns the sum of (−2)^i over all set bits i.
+func DecodeNB(nb uint64) int64 {
+	return int64((nb ^ oddMask) - oddMask)
+}
+
+// EvenOnes returns the s-bit pattern 0101…01 with ones in all even positions
+// below s. Interpreted as negabinary it is the largest value representable in
+// s bits (the paper's m, Sec. 2.3.1).
+func EvenOnes(s int) uint64 {
+	return ^oddMask & Ones(s)
+}
+
+// MaxPos returns m, the largest non-negative integer representable in s
+// negabinary bits (e.g. MaxPos(6) = 21 = 010101₋₂).
+func MaxPos(s int) int64 {
+	return DecodeNB(EvenOnes(s))
+}
+
+// MinNeg returns the smallest (most negative) integer representable in s
+// negabinary bits, obtained by setting ones in all odd positions below s.
+func MinNeg(s int) int64 {
+	return DecodeNB(oddMask & Ones(s))
+}
+
+// Ones returns a mask with the k least significant bits set.
+func Ones(k int) uint64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(k)) - 1
+}
+
+// Log2 returns log2(p) for a power of two p, and ok=false otherwise.
+func Log2(p int) (s int, ok bool) {
+	if p <= 0 || p&(p-1) != 0 {
+		return 0, false
+	}
+	return bits.TrailingZeros64(uint64(p)), true
+}
+
+// Log2Ceil returns ceil(log2(p)); it is the number of steps s of a tree or
+// butterfly collective over p ranks. Log2Ceil(1) = 0.
+func Log2Ceil(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(p - 1))
+}
+
+// Log2Floor returns floor(log2(p)) for p >= 1.
+func Log2Floor(p int) int {
+	if p < 1 {
+		panic("core: Log2Floor of non-positive value")
+	}
+	return bits.Len64(uint64(p)) - 1
+}
+
+// RankToNB converts rank identifier r of a p-rank collective to its s-bit
+// negabinary representation (the paper's rank2nb, Sec. 2.3.1): ranks in
+// [0, m] use their own value, ranks above m (i.e. "to the left of rank 0" on
+// the circle) use the negabinary encoding of r − p.
+func RankToNB(r, p int) uint64 {
+	s := Log2Ceil(p)
+	if int64(r) <= MaxPos(s) {
+		return EncodeNB(int64(r))
+	}
+	return EncodeNB(int64(r) - int64(p))
+}
+
+// NBToRank converts an s-bit negabinary representation back to a rank
+// identifier in [0, p) (the paper's nb2rank): the decoded value, which may be
+// negative, is reduced modulo p.
+func NBToRank(nb uint64, p int) int {
+	return Mod(int(DecodeNB(nb)), p)
+}
+
+// Mod returns v modulo p with a result always in [0, p).
+func Mod(v, p int) int {
+	m := v % p
+	if m < 0 {
+		m += p
+	}
+	return m
+}
+
+// ModDist returns the modular (circular) distance between ranks r and q on a
+// ring of p ranks: min((r−q) mod p, (q−r) mod p) (Sec. 2.2).
+func ModDist(r, q, p int) int {
+	d := Mod(r-q, p)
+	if e := p - d; e < d {
+		return e
+	}
+	return d
+}
+
+// TrailingIdentical returns u, the number of consecutive least significant
+// bits of nb that are equal to each other within an s-bit window, starting
+// from the least significant bit (Sec. 2.3.2). For example, with s = 4,
+// u(1000) = 3 and u(1011) = 2. The result is in [1, s] for s >= 1.
+func TrailingIdentical(nb uint64, s int) int {
+	if s <= 0 {
+		return 0
+	}
+	low := nb & 1
+	u := 1
+	for i := 1; i < s; i++ {
+		if (nb>>uint(i))&1 != low {
+			break
+		}
+		u++
+	}
+	return u
+}
+
+// Reverse reverses the s least significant bits of v (bit 0 swaps with bit
+// s−1, and so on); bits at position s and above are discarded. It implements
+// the paper's reverse() used by the permute and send strategies (Sec. 4.3.1).
+func Reverse(v uint64, s int) uint64 {
+	return bits.Reverse64(v) >> uint(64-s)
+}
+
+// HighestBit returns the position of the most significant set bit of v, or −1
+// if v is zero.
+func HighestBit(v uint64) int {
+	return bits.Len64(v) - 1
+}
+
+// Nu returns ν(r, p), the virtual-rank representation used by
+// distance-doubling Bine trees and butterflies (Sec. 3.2.1): with
+// h(r) = rank2nb(p−r) for even r (h(0) = 0) and h(r) = rank2nb(r) for odd r,
+// ν(r) = h(r) XOR (h(r) >> 1). For power-of-two p, ν is a bijection of
+// [0, p) onto [0, p) (property-tested in this package).
+func Nu(r, p int) uint64 {
+	h := nuH(r, p)
+	return h ^ (h >> 1)
+}
+
+func nuH(r, p int) uint64 {
+	if r == 0 {
+		return 0
+	}
+	if r%2 == 0 {
+		return RankToNB(p-r, p)
+	}
+	return RankToNB(r, p)
+}
+
+// NuInverse returns the rank r in [0, p) with Nu(r, p) == v, for power-of-two
+// p. The inverse of the Gray-style XOR shift is the running prefix XOR; the
+// parity of h's least significant bit discriminates the even/odd branch of
+// nuH.
+func NuInverse(v uint64, p int) int {
+	// Invert h ^ (h >> 1): h = v ^ (v>>1) ^ (v>>2) ^ … (prefix XOR of all
+	// suffixes). Fold in log steps.
+	h := v
+	for shift := uint(1); shift < 64; shift <<= 1 {
+		h ^= h >> shift
+	}
+	val := DecodeNB(h)
+	if h&1 == 1 { // odd rank branch: h = rank2nb(r)
+		return Mod(int(val), p)
+	}
+	// even rank branch: h = rank2nb(p − r) ⇒ r = p − val (mod p)
+	return Mod(p-int(val), p)
+}
+
+// NuPermutation returns the full ν permutation for a power-of-two p:
+// perm[r] = ν(r). The inverse permutation is returned alongside:
+// inv[ν(r)] = r.
+func NuPermutation(p int) (perm, inv []int) {
+	perm = make([]int, p)
+	inv = make([]int, p)
+	for r := 0; r < p; r++ {
+		v := int(Nu(r, p))
+		perm[r] = v
+		inv[v] = r
+	}
+	return perm, inv
+}
+
+// BineDelta returns the signed distance Σ_{k=0}^{j} (−2)^k = (1 − (−2)^{j+1})/3
+// between communicating ranks at step j of a distance-doubling Bine butterfly
+// (Eq. 5 / Appendix A). The magnitude roughly doubles with j: 1, −1, 3, −5,
+// 11, −21, …
+func BineDelta(j int) int64 {
+	return int64(DecodeNB(Ones(j + 1)))
+}
+
+// BineDeltaDH returns the signed distance used at step i of a
+// distance-halving Bine butterfly over s steps (Eq. 4): (1 − (−2)^{s−i})/3,
+// i.e. BineDelta(s−i−1).
+func BineDeltaDH(i, s int) int64 {
+	return BineDelta(s - i - 1)
+}
+
+// BinomialDelta returns the distance 2^{s−i−1} between communicating ranks at
+// step i of a standard distance-halving binomial tree over s steps
+// (Sec. 2.4.1).
+func BinomialDelta(i, s int) int64 {
+	return int64(1) << uint(s-i-1)
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"testing"
+)
+
+var allKinds = []Kind{BineDH, BineDD, BinomialDD, BinomialDH}
+
+func checkTreeInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	p := tr.P
+	// Spanning: every non-root rank has a parent and a join step.
+	for r := 0; r < p; r++ {
+		if r == tr.Root {
+			if tr.Parent[r] != -1 || tr.JoinStep[r] != -1 {
+				t.Fatalf("%v p=%d: root has parent", tr.Kind, p)
+			}
+			continue
+		}
+		if tr.Parent[r] < 0 {
+			t.Fatalf("%v p=%d: rank %d unreached", tr.Kind, p, r)
+		}
+		if tr.JoinStep[r] < 0 || tr.JoinStep[r] >= tr.Steps {
+			t.Fatalf("%v p=%d: rank %d joins at step %d of %d", tr.Kind, p, r, tr.JoinStep[r], tr.Steps)
+		}
+		// A parent must hold the data before it forwards it.
+		par := tr.Parent[r]
+		if par != tr.Root && tr.JoinStep[par] >= tr.JoinStep[r] {
+			t.Fatalf("%v p=%d: rank %d (step %d) has parent %d joining later (step %d)",
+				tr.Kind, p, r, tr.JoinStep[r], par, tr.JoinStep[par])
+		}
+	}
+	// Children edges are consistent with Parent/JoinStep and step-ordered.
+	edges := 0
+	for r := 0; r < p; r++ {
+		last := -1
+		for _, e := range tr.Children[r] {
+			edges++
+			if tr.Parent[e.Child] != r {
+				t.Fatalf("%v p=%d: edge %d→%d not mirrored in Parent", tr.Kind, p, r, e.Child)
+			}
+			if tr.JoinStep[e.Child] != e.Step {
+				t.Fatalf("%v p=%d: edge step mismatch", tr.Kind, p)
+			}
+			if e.Step <= last {
+				t.Fatalf("%v p=%d: children of %d not step-ordered", tr.Kind, p, r)
+			}
+			last = e.Step
+		}
+	}
+	if edges != p-1 {
+		t.Fatalf("%v p=%d: %d edges, want %d", tr.Kind, p, edges, p-1)
+	}
+	// No rank sends more than once per step; senders hold data beforehand.
+	for step := 0; step < tr.Steps; step++ {
+		busy := map[int]bool{}
+		for _, pair := range tr.StepSenders(step) {
+			src, dst := pair[0], pair[1]
+			if busy[src] || busy[dst] {
+				t.Fatalf("%v p=%d step %d: rank busy twice", tr.Kind, p, step)
+			}
+			busy[src] = true
+			busy[dst] = true
+		}
+	}
+}
+
+func TestTreeInvariantsPowerOfTwo(t *testing.T) {
+	for _, kind := range allKinds {
+		for _, p := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+			for _, root := range []int{0, 1, p / 2, p - 1} {
+				if root >= p {
+					continue
+				}
+				tr := MustTree(kind, p, root)
+				checkTreeInvariants(t, tr)
+			}
+		}
+	}
+}
+
+func TestTreeInvariantsNonPowerOfTwo(t *testing.T) {
+	for _, kind := range allKinds {
+		for p := 2; p <= 70; p++ {
+			tr, err := NewTree(kind, p, 0)
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", kind, p, err)
+			}
+			checkTreeInvariants(t, tr)
+		}
+	}
+}
+
+func TestTreeArbitraryRootsNonPowerOfTwo(t *testing.T) {
+	for _, kind := range allKinds {
+		for _, p := range []int{6, 10, 12, 24, 36} {
+			for root := 0; root < p; root++ {
+				tr, err := NewTree(kind, p, root)
+				if err != nil {
+					t.Fatalf("%v p=%d root=%d: %v", kind, p, root, err)
+				}
+				checkTreeInvariants(t, tr)
+			}
+		}
+	}
+}
+
+func TestBineDHMatchesPaperFigure3(t *testing.T) {
+	// Order-3 distance-halving Bine tree rooted at 0 (Fig. 3): step 0 sends
+	// 0→3; step 1 sends 0→7 and 3→4; step 2 sends 0→1, 3→2, 7→6, 4→5.
+	tr := MustTree(BineDH, 8, 0)
+	want := map[int][2]int{ // child → {parent, step}
+		3: {0, 0},
+		7: {0, 1}, 4: {3, 1},
+		1: {0, 2}, 2: {3, 2}, 6: {7, 2}, 5: {4, 2},
+	}
+	for child, w := range want {
+		if tr.Parent[child] != w[0] || tr.JoinStep[child] != w[1] {
+			t.Errorf("rank %d: parent %d step %d, want parent %d step %d",
+				child, tr.Parent[child], tr.JoinStep[child], w[0], w[1])
+		}
+	}
+}
+
+func TestBineDHMatchesPaperFigure4(t *testing.T) {
+	// 16-node tree (Fig. 4): rank 8 has rank2nb = 1000, joins at step
+	// i = s−u = 4−3 = 1, and at step 2 sends to rank 7 (1011).
+	tr := MustTree(BineDH, 16, 0)
+	if RankToNB(8, 16) != 0b1000 {
+		t.Fatalf("rank2nb(8,16) = %b", RankToNB(8, 16))
+	}
+	if tr.JoinStep[8] != 1 {
+		t.Errorf("rank 8 joins at %d, want 1", tr.JoinStep[8])
+	}
+	found := false
+	for _, e := range tr.Children[8] {
+		if e.Step == 2 && e.Child == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rank 8 children %v: want edge to 7 at step 2", tr.Children[8])
+	}
+	// Join step must equal s−u for every rank (Sec. 2.3.2).
+	s := 4
+	for r := 1; r < 16; r++ {
+		u := TrailingIdentical(RankToNB(r, 16), s)
+		if got, want := tr.JoinStep[r], s-u; got != want {
+			t.Errorf("rank %d: join step %d, want s-u = %d", r, got, want)
+		}
+	}
+}
+
+func TestBineDDMatchesPaperFigure6(t *testing.T) {
+	// Distance-doubling tree rooted at 0 (Fig. 6, right, dashed): 0→1 at
+	// step 0, 0→7 and 1→2 at step 1, 0→3, 1→6, 7→4, 2→5 at step 2.
+	tr := MustTree(BineDD, 8, 0)
+	want := map[int][2]int{
+		1: {0, 0},
+		7: {0, 1}, 2: {1, 1},
+		3: {0, 2}, 6: {1, 2}, 4: {7, 2}, 5: {2, 2},
+	}
+	for child, w := range want {
+		if tr.Parent[child] != w[0] || tr.JoinStep[child] != w[1] {
+			t.Errorf("rank %d: parent %d step %d, want %v", child, tr.Parent[child], tr.JoinStep[child], w)
+		}
+	}
+	// Join step is the highest set bit of ν (Sec. 3.2.2); e.g. rank 2 has
+	// ν = 011 and is reached at step 1.
+	for r := 1; r < 8; r++ {
+		if got, want := tr.JoinStep[r], HighestBit(Nu(r, 8)); got != want {
+			t.Errorf("rank %d: join %d, want hsb(ν) = %d", r, got, want)
+		}
+	}
+}
+
+func TestBinomialDDMatchesFigure1(t *testing.T) {
+	// Fig. 1 top: distance-doubling broadcast over 8 ranks: 0→1, then 0→2
+	// and 1→3, then distance-4 sends.
+	tr := MustTree(BinomialDD, 8, 0)
+	if tr.Parent[1] != 0 || tr.JoinStep[1] != 0 {
+		t.Error("rank 1")
+	}
+	if tr.Parent[2] != 0 || tr.JoinStep[2] != 1 {
+		t.Error("rank 2")
+	}
+	if tr.Parent[3] != 1 || tr.JoinStep[3] != 1 {
+		t.Error("rank 3")
+	}
+	for _, r := range []int{4, 5, 6, 7} {
+		if tr.JoinStep[r] != 2 {
+			t.Errorf("rank %d joins at %d, want 2", r, tr.JoinStep[r])
+		}
+	}
+}
+
+func TestBinomialDHMatchesFigure1(t *testing.T) {
+	// Fig. 1 bottom: distance-halving broadcast: 0→4, then 0→2 and 4→6,
+	// then odd ranks.
+	tr := MustTree(BinomialDH, 8, 0)
+	if tr.Parent[4] != 0 || tr.JoinStep[4] != 0 {
+		t.Error("rank 4")
+	}
+	if tr.Parent[2] != 0 || tr.JoinStep[2] != 1 {
+		t.Error("rank 2")
+	}
+	if tr.Parent[6] != 4 || tr.JoinStep[6] != 1 {
+		t.Error("rank 6")
+	}
+	for _, r := range []int{1, 3, 5, 7} {
+		if tr.JoinStep[r] != 2 {
+			t.Errorf("rank %d joins at %d, want 2", r, tr.JoinStep[r])
+		}
+	}
+}
+
+func TestBineDHSubtreesCircularlyContiguous(t *testing.T) {
+	// Sec. 2.3.3 / Fig. 7: distance-halving Bine subtrees are contiguous on
+	// the rank circle.
+	for _, p := range []int{4, 8, 16, 32, 128, 512} {
+		tr := MustTree(BineDH, p, 0)
+		for r := 0; r < p; r++ {
+			if runs := tr.SubtreeRanges(r); len(runs) != 1 {
+				t.Errorf("p=%d rank %d: subtree splits into %d runs: %v", p, r, len(runs), runs)
+			}
+		}
+	}
+}
+
+func TestBineDDSubtreesShareNuSuffix(t *testing.T) {
+	// Sec. 3.2.3: all ranks of a distance-doubling subtree rooted at r share
+	// the i+1 least significant ν bits, where i is r's join step.
+	for _, p := range []int{8, 16, 64, 256} {
+		tr := MustTree(BineDD, p, 0)
+		for r := 0; r < p; r++ {
+			if r == 0 {
+				continue
+			}
+			i := tr.JoinStep[r]
+			mask := Ones(i + 1)
+			suffix := Nu(r, p) & mask
+			for _, m := range tr.Subtree(r) {
+				if Nu(m, p)&mask != suffix {
+					t.Errorf("p=%d: subtree of %d member %d breaks ν suffix", p, r, m)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeRotationInvariance(t *testing.T) {
+	// A tree rooted at t is the tree rooted at 0 with all ranks shifted by t
+	// (Sec. 2.2: "logical rotation").
+	for _, kind := range allKinds {
+		for _, p := range []int{8, 16, 64} {
+			base := MustTree(kind, p, 0)
+			for _, root := range []int{1, 3, p - 1} {
+				tr := MustTree(kind, p, root)
+				for r := 0; r < p; r++ {
+					if r == root {
+						continue
+					}
+					rel := Mod(r-root, p)
+					wantParent := Mod(base.Parent[rel]+root, p)
+					if tr.Parent[r] != wantParent || tr.JoinStep[r] != base.JoinStep[rel] {
+						t.Fatalf("%v p=%d root=%d rank=%d: rotation broken", kind, p, root, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBineShorterMaxDistanceThanBinomial(t *testing.T) {
+	// The headline locality property: per-step modular distances of Bine
+	// trees are ≈2/3 of the binomial ones (Sec. 2.4.1). Check the per-step
+	// maxima across the whole tree.
+	for _, p := range []int{8, 16, 64, 256, 1024} {
+		s, _ := Log2(p)
+		bine := MustTree(BineDH, p, 0)
+		binom := MustTree(BinomialDH, p, 0)
+		for step := 0; step < s; step++ {
+			maxDist := func(tr *Tree) int {
+				m := 0
+				for _, pr := range tr.StepSenders(step) {
+					if d := ModDist(pr[0], pr[1], p); d > m {
+						m = d
+					}
+				}
+				return m
+			}
+			db, dn := maxDist(bine), maxDist(binom)
+			if db >= dn && dn > 2 {
+				t.Errorf("p=%d step %d: bine dist %d !< binomial dist %d", p, step, db, dn)
+			}
+			// Exact ratio check: 3·δbine = 2·δbinomial ± 1.
+			diff := 3*db - 2*dn
+			if diff != 1 && diff != -1 {
+				t.Errorf("p=%d step %d: 3·%d vs 2·%d", p, step, db, dn)
+			}
+		}
+	}
+}
+
+func TestFoldedTreeOddP(t *testing.T) {
+	for _, p := range []int{3, 5, 7, 9, 21, 33} {
+		tr, err := NewTree(BineDH, p, 0)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		checkTreeInvariants(t, tr)
+		pp := 1 << uint(Log2Floor(p))
+		for r := pp; r < p; r++ {
+			if tr.Parent[r] != r-pp {
+				t.Errorf("p=%d: extra rank %d parent %d, want %d", p, r, tr.Parent[r], r-pp)
+			}
+		}
+	}
+}
+
+func TestSubtreePartitionsRanks(t *testing.T) {
+	// The root's children subtrees plus the root itself partition [0,p).
+	for _, kind := range allKinds {
+		for _, p := range []int{8, 16, 24, 64} {
+			tr, err := NewTree(kind, p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[int]bool{tr.Root: true}
+			for _, e := range tr.Children[tr.Root] {
+				for _, m := range tr.Subtree(e.Child) {
+					if seen[m] {
+						t.Fatalf("%v p=%d: rank %d in two subtrees", kind, p, m)
+					}
+					seen[m] = true
+				}
+			}
+			if len(seen) != p {
+				t.Fatalf("%v p=%d: subtrees cover %d ranks", kind, p, len(seen))
+			}
+		}
+	}
+}
+
+func TestTreeDepthWithinSteps(t *testing.T) {
+	for _, kind := range allKinds {
+		for _, p := range []int{16, 64, 100} {
+			tr, err := NewTree(kind, p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < p; r++ {
+				if d := tr.Depth(r); d > tr.Steps {
+					t.Errorf("%v p=%d: depth(%d) = %d > steps %d", kind, p, r, d, tr.Steps)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	if _, err := NewTree(BineDH, 0, 0); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := NewTree(BineDH, 8, 8); err == nil {
+		t.Error("root out of range should fail")
+	}
+	if _, err := NewTree(BineDH, 8, -1); err == nil {
+		t.Error("negative root should fail")
+	}
+}
+
+func TestSingleRankTree(t *testing.T) {
+	tr := MustTree(BineDD, 1, 0)
+	if tr.Steps != 0 || len(tr.Children[0]) != 0 {
+		t.Error("degenerate tree")
+	}
+}

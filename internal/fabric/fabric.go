@@ -1,0 +1,95 @@
+// Package fabric is the hand-rolled message-passing runtime the collectives
+// run on — the substitute for the MPI point-to-point layer used by the paper
+// (no MPI ecosystem exists for Go; see DESIGN.md).
+//
+// A Fabric hosts p ranks. Each rank obtains a Comm handle and exchanges
+// typed vectors ([]int32, matching the paper's 32-bit-integer benchmark
+// vectors) with its peers. Messages are matched by (peer, step, sub): step
+// is the collective's logical step number and sub distinguishes multiple
+// messages between the same pair within one step (e.g. block-by-block
+// transmissions, Sec. 4.3.1 of the paper).
+//
+// Two transports are provided: Mem (in-process mailboxes, used for large
+// rank counts) and TCP (length-prefixed frames over loopback sockets, used
+// to demonstrate the collectives over a real network stack). A Recorder can
+// wrap any fabric to capture the full communication trace for the traffic
+// and cost analyses in internal/netsim.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// DefaultTimeout bounds how long a Recv waits for a matching message before
+// failing. Collectives are deadlock-free by construction; the timeout turns
+// a bug into a test failure instead of a hang.
+const DefaultTimeout = 30 * time.Second
+
+// ErrTimeout is returned when a receive waits longer than the fabric's
+// timeout for a matching message.
+var ErrTimeout = errors.New("fabric: receive timed out")
+
+// ErrClosed is returned when operating on a closed fabric.
+var ErrClosed = errors.New("fabric: closed")
+
+// Comm is one rank's endpoint into a fabric. A Comm must only be used from
+// the goroutine driving that rank, but different ranks' Comms may be used
+// concurrently.
+type Comm interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the fabric.
+	Size() int
+	// Send delivers a copy of data to rank `to`, tagged (step, sub).
+	// It does not block on the receiver.
+	Send(to, step, sub int, data []int32) error
+	// Recv waits for the message from rank `from` tagged (step, sub) and
+	// copies it into buf, which must have exactly the message's length.
+	Recv(from, step, sub int, buf []int32) error
+}
+
+// Fabric is a set of ranks wired together by some transport.
+type Fabric interface {
+	Size() int
+	// Comm returns the endpoint for the given rank.
+	Comm(rank int) Comm
+	// Close releases transport resources; pending receives fail.
+	Close() error
+}
+
+// Run drives fn concurrently for every rank of the fabric and returns the
+// first error any rank produced (all ranks are always joined first). It is
+// the moral equivalent of mpirun for this runtime.
+func Run(f Fabric, fn func(c Comm) error) error {
+	p := f.Size()
+	errs := make(chan error, p)
+	for r := 0; r < p; r++ {
+		go func(rank int) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs <- fmt.Errorf("fabric: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			errs <- fn(f.Comm(rank))
+		}(r)
+	}
+	var first error
+	for r := 0; r < p; r++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SendRecv performs the pairwise exchange at the heart of every butterfly
+// step: send sdata to peer and receive a message of len(rbuf) elements from
+// the same peer, both tagged (step, sub).
+func SendRecv(c Comm, peer, step, sub int, sdata, rbuf []int32) error {
+	if err := c.Send(peer, step, sub, sdata); err != nil {
+		return err
+	}
+	return c.Recv(peer, step, sub, rbuf)
+}

@@ -1,0 +1,78 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// message is one in-flight point-to-point transfer.
+type message struct {
+	from, step, sub int
+	data            []int32
+}
+
+// mailbox is a rank's incoming message queue with out-of-order matching:
+// receives specify (from, step, sub) and messages may arrive in any order.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+	closed  bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues a message; the data slice must already be owned by the
+// mailbox (callers copy).
+func (m *mailbox) put(msg message) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.pending = append(m.pending, msg)
+	m.cond.Broadcast()
+	return nil
+}
+
+// take waits until a message matching (from, step, sub) is available and
+// removes it from the queue.
+func (m *mailbox) take(from, step, sub int, timeout time.Duration) (message, error) {
+	deadline := time.Now().Add(timeout)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.closed {
+			return message{}, ErrClosed
+		}
+		for i, msg := range m.pending {
+			if msg.from == from && msg.step == step && msg.sub == sub {
+				last := len(m.pending) - 1
+				m.pending[i] = m.pending[last]
+				m.pending = m.pending[:last]
+				return msg, nil
+			}
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return message{}, fmt.Errorf("%w: waiting for (from=%d step=%d sub=%d)", ErrTimeout, from, step, sub)
+		}
+		// sync.Cond has no timed wait; a one-shot timer broadcasting the
+		// condition bounds the sleep.
+		timer := time.AfterFunc(remaining, m.cond.Broadcast)
+		m.cond.Wait()
+		timer.Stop()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

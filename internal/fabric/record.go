@@ -1,0 +1,137 @@
+package fabric
+
+import (
+	"sort"
+	"sync"
+)
+
+// Record is one captured point-to-point transfer.
+type Record struct {
+	From, To int
+	// Step is the collective's logical step; messages sharing a step are
+	// concurrent on the network.
+	Step int
+	// Sub distinguishes multiple messages between the same pair within a
+	// step (segmented / block-by-block transmissions).
+	Sub int
+	// Elems is the payload length in vector elements.
+	Elems int
+}
+
+// Trace is the complete communication record of one collective execution.
+// The cost model in internal/netsim replays traces against topologies.
+type Trace struct {
+	P       int
+	Records []Record
+}
+
+// Steps returns the records grouped by step in ascending step order.
+func (t *Trace) Steps() [][]Record {
+	if len(t.Records) == 0 {
+		return nil
+	}
+	maxStep := 0
+	for _, r := range t.Records {
+		if r.Step > maxStep {
+			maxStep = r.Step
+		}
+	}
+	out := make([][]Record, maxStep+1)
+	for _, r := range t.Records {
+		out[r.Step] = append(out[r.Step], r)
+	}
+	return out
+}
+
+// TotalElems returns the total number of vector elements transferred.
+func (t *Trace) TotalElems() int64 {
+	var n int64
+	for _, r := range t.Records {
+		n += int64(r.Elems)
+	}
+	return n
+}
+
+// MaxMessagesPerSender returns the largest number of messages any single
+// rank sends within one step; the cost model charges per-message overhead
+// serialized at the sender.
+func (t *Trace) MaxMessagesPerSender() int {
+	type key struct{ step, from int }
+	counts := map[key]int{}
+	max := 0
+	for _, r := range t.Records {
+		k := key{r.Step, r.From}
+		counts[k]++
+		if counts[k] > max {
+			max = counts[k]
+		}
+	}
+	return max
+}
+
+// Recorder wraps a fabric and captures every Send into a Trace. Receives are
+// not recorded (each message appears once).
+type Recorder struct {
+	inner Fabric
+	mu    sync.Mutex
+	recs  []Record
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner Fabric) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Size returns the rank count of the wrapped fabric.
+func (r *Recorder) Size() int { return r.inner.Size() }
+
+// Close closes the wrapped fabric.
+func (r *Recorder) Close() error { return r.inner.Close() }
+
+// Comm returns a recording endpoint for the rank.
+func (r *Recorder) Comm(rank int) Comm {
+	return &recComm{rec: r, inner: r.inner.Comm(rank)}
+}
+
+// Trace returns the captured trace in deterministic (step, from, to, sub)
+// order.
+func (r *Recorder) Trace() *Trace {
+	r.mu.Lock()
+	recs := append([]Record(nil), r.recs...)
+	r.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Step != b.Step {
+			return a.Step < b.Step
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Sub < b.Sub
+	})
+	return &Trace{P: r.inner.Size(), Records: recs}
+}
+
+type recComm struct {
+	rec   *Recorder
+	inner Comm
+}
+
+func (c *recComm) Rank() int { return c.inner.Rank() }
+func (c *recComm) Size() int { return c.inner.Size() }
+
+func (c *recComm) Send(to, step, sub int, data []int32) error {
+	c.rec.mu.Lock()
+	c.rec.recs = append(c.rec.recs, Record{
+		From: c.inner.Rank(), To: to, Step: step, Sub: sub, Elems: len(data),
+	})
+	c.rec.mu.Unlock()
+	return c.inner.Send(to, step, sub, data)
+}
+
+func (c *recComm) Recv(from, step, sub int, buf []int32) error {
+	return c.inner.Recv(from, step, sub, buf)
+}

@@ -1,0 +1,699 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"binetrees/internal/alloc"
+	"binetrees/internal/coll"
+	"binetrees/internal/core"
+	"binetrees/internal/fabric"
+	"binetrees/internal/netsim"
+	"binetrees/internal/stats"
+	"binetrees/internal/topology"
+)
+
+// Fig1 reproduces the motivating example of Fig. 1: global-link bytes of a
+// broadcast over eight nodes on a 2:1 oversubscribed fat tree with two
+// nodes per leaf, for the distance-doubling (Open MPI), distance-halving
+// (MPICH) and Bine trees.
+func Fig1(w io.Writer) error {
+	const n = 1 // unit vector; results are per n bytes
+	groupOf := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	fmt.Fprintln(w, "Fig. 1 — broadcast over 8 nodes, 2 nodes per leaf switch (bytes on global links, per n bytes of vector):")
+	for _, k := range []core.Kind{core.BinomialDD, core.BinomialDH, core.BineDH} {
+		algoName := map[core.Kind]string{
+			core.BinomialDD: "distance-doubling binomial (Open MPI)",
+			core.BinomialDH: "distance-halving binomial (MPICH)",
+			core.BineDH:     "distance-halving Bine",
+		}[k]
+		tree, err := core.NewTree(k, 8, 0)
+		if err != nil {
+			return err
+		}
+		rec := fabric.NewRecorder(fabric.NewMem(8))
+		err = fabric.Run(rec, func(c fabric.Comm) error {
+			return coll.Bcast(c, tree, make([]int32, n))
+		})
+		rec.Close()
+		if err != nil {
+			return err
+		}
+		global, total := netsim.GlobalTraffic(rec.Trace(), groupOf)
+		fmt.Fprintf(w, "  %-42s %dn global of %dn total\n", algoName, global, total)
+	}
+	fmt.Fprintln(w, "  paper: 6n (distance doubling) vs 3n (distance halving)")
+	return nil
+}
+
+// Eq2 tabulates the per-step modular distances of Bine vs binomial
+// schedules and their ratio, illustrating the 2/3 bound of Sec. 2.4.1.
+func Eq2(w io.Writer) error {
+	p := 1024
+	bine := core.MustButterfly(core.BflyBineDH, p)
+	binom := core.MustButterfly(core.BflyBinomialDH, p)
+	fmt.Fprintf(w, "Eq. 2 — per-step modular distance, p=%d (bound: ratio → 2/3 ≈ 0.667):\n", p)
+	fmt.Fprintf(w, "  %-6s %10s %10s %8s\n", "step", "binomial", "bine", "ratio")
+	for i := 0; i < bine.S; i++ {
+		db, dn := bine.ModDistAt(i), binom.ModDistAt(i)
+		fmt.Fprintf(w, "  %-6d %10d %10d %8.3f\n", i, dn, db, float64(db)/float64(dn))
+	}
+	return nil
+}
+
+// Fig5 reproduces the allocation study of Sec. 2.4.2: synthetic fragmented
+// job allocations on Leonardo-like and LUMI-like machines, reporting the
+// distribution of global-traffic reduction of a Bine allreduce over the
+// binomial allreduce with the same distance ordering, bucketed by node
+// count.
+func Fig5(w io.Writer, opts Options) error {
+	type sysCase struct {
+		name    string
+		machine alloc.Machine
+		jobs    int
+		maxP    int
+		seed    int64
+	}
+	cases := []sysCase{
+		{"Leonardo", alloc.Machine{Groups: 23, NodesPerGroup: 180}, 1116, 256, 3},
+		{"LUMI", alloc.Machine{Groups: 24, NodesPerGroup: 124}, 1914, 2048, 4},
+	}
+	if opts.Quick {
+		for i := range cases {
+			cases[i].jobs = 200
+			cases[i].maxP = 256
+		}
+	}
+	traces := map[int][2]*fabric.Trace{} // p → {bine, binomial}
+	allreduceTrace := func(kind core.ButterflyKind, p int) (*fabric.Trace, error) {
+		b, err := core.NewButterfly(kind, p)
+		if err != nil {
+			return nil, err
+		}
+		rec := fabric.NewRecorder(fabric.NewMem(p))
+		defer rec.Close()
+		err = fabric.Run(rec, func(c fabric.Comm) error {
+			return coll.AllreduceRsAg(c, b, make([]int32, p), coll.OpSum)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return rec.Trace(), nil
+	}
+	fmt.Fprintln(w, "Fig. 5 — global-traffic reduction of Bine vs binomial allreduce across synthetic Slurm-like allocations")
+	fmt.Fprintln(w, "(boxplots per job size; theoretical bound 33%, Eq. 2):")
+	for _, sc := range cases {
+		wl := FragmentingWorkload(sc.machine, sc.maxP, sc.seed)
+		wl.Run(800) // reach steady-state fragmentation before sampling
+		jobs := wl.Run(sc.jobs)
+		buckets := map[int][]float64{}
+		for _, job := range jobs {
+			p := len(job.Nodes)
+			if p < 16 || p&(p-1) != 0 {
+				continue // the study buckets power-of-two jobs ≥ 16 nodes
+			}
+			if _, ok := traces[p]; !ok {
+				bt, err := allreduceTrace(core.BflyBineDD, p)
+				if err != nil {
+					return err
+				}
+				nt, err := allreduceTrace(core.BflyBinomialDD, p)
+				if err != nil {
+					return err
+				}
+				traces[p] = [2]*fabric.Trace{bt, nt}
+			}
+			tr := traces[p]
+			bine, _ := netsim.GlobalTraffic(tr[0], job.Groups)
+			binom, _ := netsim.GlobalTraffic(tr[1], job.Groups)
+			if binom == 0 {
+				continue // single-group job: no global traffic at all
+			}
+			buckets[p] = append(buckets[p], 100*(1-float64(bine)/float64(binom)))
+		}
+		fmt.Fprintf(w, "\n  %s (%d jobs placed):\n", sc.name, len(jobs))
+		fmt.Fprintf(w, "  %-7s %-52s %s\n", "nodes", "reduction %  [-20 ... 40]", "summary")
+		var ps []int
+		for p := range buckets {
+			ps = append(ps, p)
+		}
+		sort.Ints(ps)
+		for _, p := range ps {
+			box := stats.NewBox(buckets[p])
+			fmt.Fprintf(w, "  %-7d %-52s %s\n", p, box.Render(-20, 40, 52), box)
+		}
+	}
+	fmt.Fprintln(w, "\n  paper: median reductions grow with job size, bounded by 33%; small jobs can regress")
+	return nil
+}
+
+// TableBinomial reproduces the per-system Bine-vs-binomial comparison
+// (Tables 3, 4 and 5): for every collective, the fraction of
+// configurations won/lost against the best binomial baseline, the
+// average/max gain and drop, and the average/max global-traffic reduction.
+func TableBinomial(w io.Writer, sys System, opts Options) error {
+	counts := opts.nodeCounts(sys)
+	sizes := opts.sizes()
+	fmt.Fprintf(w, "Bine vs binomial trees on %s (nodes %v, %d vector sizes)\n", sys.Name, counts, len(sizes))
+	fmt.Fprintf(w, "  %-15s %6s %15s %6s %15s %18s\n",
+		"collective", "%win", "avg/max gain", "%loss", "avg/max drop", "avg/max traffic red")
+	for _, collective := range coll.Collectives {
+		res, err := sweepCollective(sys, collective, counts, sizes)
+		if err != nil {
+			return err
+		}
+		bineNames := res.names(isBine)
+		binomNames := res.names(isBinomial)
+		var bineTimes, binomTimes, reds []float64
+		for _, p := range counts {
+			for _, size := range sizes {
+				k := cellKey{P: p, Size: size}
+				_, bc, ok1 := res.best(bineNames, k)
+				_, nc, ok2 := res.best(binomNames, k)
+				if !ok1 || !ok2 {
+					continue
+				}
+				bineTimes = append(bineTimes, bc.Time)
+				binomTimes = append(binomTimes, nc.Time)
+				if nc.Global > 0 {
+					reds = append(reds, 100*(1-bc.Global/nc.Global))
+				}
+			}
+		}
+		wl := stats.NewWinLoss(bineTimes, binomTimes)
+		var avgRed, maxRed float64
+		if len(reds) > 0 {
+			sum := 0.0
+			for _, r := range reds {
+				sum += r
+				if r > maxRed {
+					maxRed = r
+				}
+			}
+			avgRed = sum / float64(len(reds))
+		}
+		fmt.Fprintf(w, "  %-15s %5.0f%% %6.0f%%/%5.0f%% %5.0f%% %6.0f%%/%5.0f%% %8.0f%%/%7.0f%%\n",
+			collective, wl.WinPct, wl.AvgGain, wl.MaxGain,
+			wl.LossPct, wl.AvgDrop, wl.MaxDrop, avgRed, maxRed)
+	}
+	return nil
+}
+
+// familyLetter maps baseline algorithms to the single letters of the
+// paper's heatmaps: N = binomial, R = ring, D = other state of the art.
+func familyLetter(res *sweepResult, name string) string {
+	for _, a := range res.Algos {
+		if a.Name == name {
+			switch {
+			case a.Binomial:
+				return "N"
+			case a.Name == "ring":
+				return "R"
+			default:
+				return "D"
+			}
+		}
+	}
+	return "?"
+}
+
+// HeatmapAllreduce reproduces Figs. 9a/10a: for every (node count, vector
+// size) cell of the allreduce sweep, either the Bine speedup over the best
+// baseline (when Bine wins) or the letter of the winning baseline.
+func HeatmapAllreduce(w io.Writer, sys System, opts Options) error {
+	counts := opts.nodeCounts(sys)
+	sizes := opts.sizes()
+	res, err := sweepCollective(sys, coll.CAllreduce, counts, sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Allreduce heatmap on %s (cell = Bine speedup vs best baseline, or winning baseline letter;\n", sys.Name)
+	fmt.Fprintln(w, " N = binomial, R = ring, D = other):")
+	fmt.Fprintf(w, "  %-9s", "")
+	for _, p := range counts {
+		fmt.Fprintf(w, " %6d", p)
+	}
+	fmt.Fprintln(w)
+	bineNames, baseNames := res.names(isBine), res.names(isBaseline)
+	bineWins := 0
+	cells := 0
+	for _, size := range sizes {
+		fmt.Fprintf(w, "  %-9s", SizeLabel(size))
+		for _, p := range counts {
+			k := cellKey{P: p, Size: size}
+			_, bc, ok1 := res.best(bineNames, k)
+			bn, nc, ok2 := res.best(baseNames, k)
+			switch {
+			case !ok1 || !ok2:
+				fmt.Fprintf(w, " %6s", "-")
+			case bc.Time <= nc.Time:
+				bineWins++
+				cells++
+				fmt.Fprintf(w, " %6.2f", nc.Time/bc.Time)
+			default:
+				cells++
+				fmt.Fprintf(w, " %6s", familyLetter(res, bn))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if cells > 0 {
+		fmt.Fprintf(w, "  Bine best in %d/%d cells (%.0f%%)\n", bineWins, cells, 100*float64(bineWins)/float64(cells))
+	}
+	return nil
+}
+
+// Boxplots reproduces Figs. 9b/10b/11a: for every collective, the
+// distribution of Bine's improvement over the best baseline in the
+// configurations where Bine wins, plus the win percentage.
+func Boxplots(w io.Writer, sys System, opts Options) error {
+	counts := opts.nodeCounts(sys)
+	sizes := opts.sizes()
+	fmt.Fprintf(w, "Per-collective improvement over the best baseline on %s (cells where Bine wins):\n", sys.Name)
+	fmt.Fprintf(w, "  %-15s %-6s %-46s %s\n", "collective", "win%", "improvement %  [0 ... 100]", "summary")
+	for _, collective := range coll.Collectives {
+		res, err := sweepCollective(sys, collective, counts, sizes)
+		if err != nil {
+			return err
+		}
+		bineNames, baseNames := res.names(isBine), res.names(isBaseline)
+		var improvements []float64
+		cells := 0
+		for _, p := range counts {
+			for _, size := range sizes {
+				k := cellKey{P: p, Size: size}
+				_, bc, ok1 := res.best(bineNames, k)
+				_, nc, ok2 := res.best(baseNames, k)
+				if !ok1 || !ok2 {
+					continue
+				}
+				cells++
+				if bc.Time < nc.Time {
+					improvements = append(improvements, 100*(nc.Time/bc.Time-1))
+				}
+			}
+		}
+		box := stats.NewBox(improvements)
+		win := 0.0
+		if cells > 0 {
+			win = 100 * float64(len(improvements)) / float64(cells)
+		}
+		fmt.Fprintf(w, "  %-15s %4.0f%%  %-46s %s\n", collective, win, box.Render(0, 100, 46), box)
+	}
+	return nil
+}
+
+// Fig14 reproduces Appendix B: which non-contiguous-data strategy wins each
+// (node count, vector size) cell of the allgather sweep on the LUMI-like
+// system, and its gain over the binomial butterfly.
+func Fig14(w io.Writer, opts Options) error {
+	sys := LUMI()
+	counts := opts.nodeCounts(sys)
+	sizes := opts.sizes()
+	res, err := sweepCollective(sys, coll.CAllgather, counts, sizes)
+	if err != nil {
+		return err
+	}
+	strategies := map[string]string{
+		"bine-block":     "B",
+		"bine-permute":   "P",
+		"bine-send":      "S",
+		"bine-two-trans": "T",
+	}
+	var stratNames []string
+	for name := range strategies {
+		stratNames = append(stratNames, name)
+	}
+	sort.Strings(stratNames)
+	fmt.Fprintln(w, "Fig. 14 — best non-contiguous-data strategy per allgather cell on LUMI")
+	fmt.Fprintln(w, "(B = block-by-block, P = permute, S = send, T = two transmissions; value = gain vs recursive doubling):")
+	fmt.Fprintf(w, "  %-9s", "")
+	for _, p := range counts {
+		fmt.Fprintf(w, " %8d", p)
+	}
+	fmt.Fprintln(w)
+	for _, size := range sizes {
+		fmt.Fprintf(w, "  %-9s", SizeLabel(size))
+		for _, p := range counts {
+			k := cellKey{P: p, Size: size}
+			name, bc, ok1 := res.best(stratNames, k)
+			nc, ok2 := res.Cells["recursive-doubling"][k]
+			if !ok1 || !ok2 {
+				fmt.Fprintf(w, " %8s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %s %5.2fx", strategies[name], nc.Time/bc.Time)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "  paper: permute wins small vectors, send takes over at scale, block-by-block and")
+	fmt.Fprintln(w, "  two-transmissions split the large-vector regime")
+	return nil
+}
+
+// Fig11b reproduces the Fugaku evaluation (Sec. 5.4): Bine torus
+// collectives against bucket, ring and butterfly baselines over the paper's
+// job shapes, as per-collective improvement boxplots.
+func Fig11b(w io.Writer, opts Options) error {
+	shapes := FugakuShapes()
+	if opts.Quick {
+		shapes = [][]int{{2, 2, 2}, {4, 4, 4}, {8, 2}}
+	}
+	sizes := opts.sizes()
+	fmt.Fprintln(w, "Fugaku (6D-torus model) — Bine improvement over the best baseline per collective:")
+	type group struct {
+		collective coll.Collective
+		bine       []torusAlgo
+		base       []torusAlgo
+		flatBine   []string // registry algorithms run on the torus as flat baselines/candidates
+		flatBase   []string
+	}
+	ta := torusAlgos()
+	pick := func(c coll.Collective, bine bool) []torusAlgo {
+		var out []torusAlgo
+		for _, a := range ta {
+			if a.Coll == c && a.Bine == bine {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	groups := []group{
+		{collective: coll.CAllreduce, bine: pick(coll.CAllreduce, true), base: pick(coll.CAllreduce, false),
+			flatBase: []string{"ring", "rabenseifner", "recursive-doubling"}},
+		{collective: coll.CBcast, bine: pick(coll.CBcast, true), flatBase: []string{"binomial-dd", "binomial-dh", "linear"}},
+		{collective: coll.CReduce, bine: pick(coll.CReduce, true), flatBase: []string{"binomial-dd", "binomial-dh", "linear"}},
+		{collective: coll.CReduceScatter, flatBine: []string{"bine-permute", "bine-send"},
+			flatBase: []string{"recursive-halving", "ring"}},
+		{collective: coll.CAllgather, flatBine: []string{"bine-permute", "bine-send"},
+			flatBase: []string{"recursive-doubling", "ring", "bruck"}},
+	}
+	registry := coll.Registry()
+	for _, g := range groups {
+		var improvements []float64
+		cells, wins := 0, 0
+		for _, dims := range shapes {
+			tor := core.MustTorus(dims...)
+			topo, err := FugakuTopology(dims)
+			if err != nil {
+				return err
+			}
+			reduces := g.collective.Reduces()
+			evalTorus := func(a torusAlgo) (map[int64]float64, error) {
+				tr, n, err := recordTorusTrace(a, tor, 0)
+				if err != nil {
+					return nil, err
+				}
+				out := map[int64]float64{}
+				for _, size := range sizes {
+					c, err := evaluateOnTorus(tr, n, topo, size, reduces, a.Overlap)
+					if err != nil {
+						return nil, err
+					}
+					out[size] = c.Time
+				}
+				return out, nil
+			}
+			evalFlat := func(name string) (map[int64]float64, error) {
+				algo, ok := coll.Find(registry, g.collective, name)
+				if !ok {
+					return nil, fmt.Errorf("harness: %v/%s not registered", g.collective, name)
+				}
+				if algo.Pow2Only {
+					if _, pow2 := core.Log2(tor.P()); !pow2 {
+						return nil, nil
+					}
+				}
+				tr, err := recordTrace(algo, tor.P(), 0)
+				if err != nil {
+					return nil, err
+				}
+				placement := make([]int, tor.P())
+				for i := range placement {
+					placement[i] = i
+				}
+				out := map[int64]float64{}
+				for _, size := range sizes {
+					r, err := netsim.Evaluate(tr, topo, FugakuParams(), netsim.Eval{
+						Placement: placement,
+						ElemBytes: float64(size) / float64(tor.P()),
+						Reduces:   reduces,
+						Overlap:   algo.Overlap,
+						CopyBytes: algo.CopyFactor * float64(size),
+					})
+					if err != nil {
+						return nil, err
+					}
+					out[size] = r.Time
+				}
+				return out, nil
+			}
+			bineTimes := map[int64]float64{}
+			baseTimes := map[int64]float64{}
+			fold := func(dst map[int64]float64, src map[int64]float64) {
+				for size, t := range src {
+					if cur, ok := dst[size]; !ok || t < cur {
+						dst[size] = t
+					}
+				}
+			}
+			for _, a := range g.bine {
+				m, err := evalTorus(a)
+				if err != nil {
+					return err
+				}
+				fold(bineTimes, m)
+			}
+			for _, name := range g.flatBine {
+				m, err := evalFlat(name)
+				if err != nil {
+					return err
+				}
+				fold(bineTimes, m)
+			}
+			for _, a := range g.base {
+				m, err := evalTorus(a)
+				if err != nil {
+					return err
+				}
+				fold(baseTimes, m)
+			}
+			for _, name := range g.flatBase {
+				m, err := evalFlat(name)
+				if err != nil {
+					return err
+				}
+				fold(baseTimes, m)
+			}
+			for _, size := range sizes {
+				bt, ok1 := bineTimes[size]
+				nt, ok2 := baseTimes[size]
+				if !ok1 || !ok2 {
+					continue
+				}
+				cells++
+				if bt < nt {
+					wins++
+					improvements = append(improvements, 100*(nt/bt-1))
+				}
+			}
+		}
+		box := stats.NewBox(improvements)
+		win := 0.0
+		if cells > 0 {
+			win = 100 * float64(wins) / float64(cells)
+		}
+		fmt.Fprintf(w, "  %-15s %4.0f%%  %-46s %s\n", g.collective, win, box.Render(0, 400, 46), box)
+	}
+	fmt.Fprintln(w, "  paper: up to 5x for reduce-scatter/allreduce; broadcast and reduce face vendor-tuned torus algorithms")
+	return nil
+}
+
+// Hier reproduces the multi-GPU discussion of Sec. 6.2: a hierarchical Bine
+// allreduce (intra-node reduce-scatter, inter-node Bine allreduce,
+// intra-node allgather) against flat algorithms on a machine with four
+// fully connected GPUs per node.
+func Hier(w io.Writer, opts Options) error {
+	const gpusPerNode = 4
+	counts := []int{16, 64, 256, 512}
+	if opts.Quick {
+		counts = []int{16, 64}
+	}
+	sizes := opts.sizes()
+	fmt.Fprintln(w, "Sec. 6.2 — hierarchical Bine allreduce on 4-GPU nodes (times in µs; best per cell marked *):")
+	params := defaultParams()
+	algos := []struct {
+		name string
+		run  func(c fabric.Comm, buf []int32) error
+	}{
+		{"hier-bine", nil}, // filled per p below
+		{"flat-bine-bw", nil},
+		{"ring", nil},
+		{"rabenseifner", nil},
+	}
+	for _, p := range counts {
+		topo, err := topology.NewUpDown(topology.UpDownConfig{
+			Name: "gpu-cluster", Groups: p / gpusPerNode, NodesPerGroup: gpusPerNode,
+			NICBW: topology.GbpsToBytes(1600), Oversub: 8, // NVLink in, tapered IB out
+		})
+		if err != nil {
+			return err
+		}
+		bfly, err := core.NewButterfly(core.BflyBineDD, p)
+		if err != nil {
+			return err
+		}
+		binom, err := core.NewButterfly(core.BflyBinomialDH, p)
+		if err != nil {
+			return err
+		}
+		algos[0].run = func(c fabric.Comm, buf []int32) error {
+			return coll.HierarchicalAllreduce(c, gpusPerNode, core.BflyBineDD, buf, coll.OpSum)
+		}
+		algos[1].run = func(c fabric.Comm, buf []int32) error {
+			return coll.AllreduceRsAg(c, bfly, buf, coll.OpSum)
+		}
+		algos[2].run = func(c fabric.Comm, buf []int32) error {
+			return coll.RingAllreduce(c, buf, coll.OpSum)
+		}
+		algos[3].run = func(c fabric.Comm, buf []int32) error {
+			return coll.AllreduceRsAg(c, binom, buf, coll.OpSum)
+		}
+		placement := make([]int, p)
+		for i := range placement {
+			placement[i] = i
+		}
+		fmt.Fprintf(w, "  %d GPUs:\n", p)
+		times := map[string]map[int64]float64{}
+		for _, a := range algos {
+			run := a.run
+			rec := fabric.NewRecorder(fabric.NewMem(p))
+			n := p * gpusPerNode
+			err := fabric.Run(rec, func(c fabric.Comm) error {
+				return run(c, make([]int32, n))
+			})
+			rec.Close()
+			if err != nil {
+				return err
+			}
+			tr := rec.Trace()
+			times[a.name] = map[int64]float64{}
+			for _, size := range sizes {
+				r, err := netsim.Evaluate(tr, topo, params, netsim.Eval{
+					Placement: placement,
+					ElemBytes: float64(size) / float64(n),
+					Reduces:   true,
+					Overlap:   0.3,
+				})
+				if err != nil {
+					return err
+				}
+				times[a.name][size] = r.Time
+			}
+		}
+		fmt.Fprintf(w, "    %-14s", "")
+		for _, size := range sizes {
+			fmt.Fprintf(w, " %10s", SizeLabel(size))
+		}
+		fmt.Fprintln(w)
+		for _, a := range algos {
+			fmt.Fprintf(w, "    %-14s", a.name)
+			for _, size := range sizes {
+				t := times[a.name][size]
+				best := true
+				for _, other := range algos {
+					if times[other.name][size] < t {
+						best = false
+						break
+					}
+				}
+				mark := " "
+				if best {
+					mark = "*"
+				}
+				fmt.Fprintf(w, " %9.1f%s", t*1e6, mark)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "  paper: hierarchical Bine beats flat MPI algorithms for >4 MiB and approaches NCCL")
+	return nil
+}
+
+// AppD illustrates Appendix D on a 4×4 torus: hop counts of the flat Bine
+// tree vs the torus-optimized construction, and the DFS-postorder block
+// permutation.
+func AppD(w io.Writer) error {
+	tor := core.MustTorus(4, 4)
+	topo, err := FugakuTopology([]int{4, 4})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Appendix D — 4×4 torus: link hops of tree broadcasts (lower = better locality):")
+	hops := func(tr *fabric.Trace) int {
+		total := 0
+		for _, m := range tr.Records {
+			total += len(topo.Route(m.From, m.To)) - 2
+		}
+		return total
+	}
+	flatTree := core.MustTree(core.BineDH, 16, 0)
+	rec := fabric.NewRecorder(fabric.NewMem(16))
+	if err := fabric.Run(rec, func(c fabric.Comm) error {
+		return coll.Bcast(c, flatTree, make([]int32, 1))
+	}); err != nil {
+		return err
+	}
+	rec.Close()
+	fmt.Fprintf(w, "  flat 1-D Bine tree:        %d hops\n", hops(rec.Trace()))
+	rec = fabric.NewRecorder(fabric.NewMem(16))
+	if err := fabric.Run(rec, func(c fabric.Comm) error {
+		return coll.TorusBcast(c, tor, core.BineDH, 0, make([]int32, 1))
+	}); err != nil {
+		return err
+	}
+	rec.Close()
+	fmt.Fprintf(w, "  torus-optimized Bine tree: %d hops\n", hops(rec.Trace()))
+	perm, _, err := tor.DFSPostorder()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  DFS-postorder block permutation (Appendix D.2): %v\n", perm)
+	return nil
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(w io.Writer, opts Options) error {
+	steps := []struct {
+		name string
+		run  func() error
+	}{
+		{"fig1", func() error { return Fig1(w) }},
+		{"eq2", func() error { return Eq2(w) }},
+		{"fig5", func() error { return Fig5(w, opts) }},
+		{"table3", func() error { return TableBinomial(w, LUMI(), opts) }},
+		{"fig9a", func() error { return HeatmapAllreduce(w, LUMI(), opts) }},
+		{"fig9b", func() error { return Boxplots(w, LUMI(), opts) }},
+		{"table4", func() error { return TableBinomial(w, Leonardo(), opts) }},
+		{"fig10a", func() error { return HeatmapAllreduce(w, Leonardo(), opts) }},
+		{"fig10b", func() error { return Boxplots(w, Leonardo(), opts) }},
+		{"table5", func() error { return TableBinomial(w, MareNostrum(), opts) }},
+		{"fig11a", func() error { return Boxplots(w, MareNostrum(), opts) }},
+		{"fig11b", func() error { return Fig11b(w, opts) }},
+		{"fig14", func() error { return Fig14(w, opts) }},
+		{"hier", func() error { return Hier(w, opts) }},
+		{"ppn", func() error { return PPN(w, opts) }},
+		{"appD", func() error { return AppD(w) }},
+	}
+	for i, s := range steps {
+		if i > 0 {
+			fmt.Fprintln(w, strings.Repeat("=", 100))
+		}
+		if err := s.run(); err != nil {
+			return fmt.Errorf("harness: %s: %w", s.name, err)
+		}
+	}
+	return nil
+}

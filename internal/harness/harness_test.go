@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"binetrees/internal/coll"
+)
+
+func TestSystemsTopologies(t *testing.T) {
+	for _, sys := range []System{LUMI(), Leonardo(), MareNostrum()} {
+		topo, err := sys.Topology()
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name, err)
+		}
+		if topo.Nodes() != sys.Machine.Nodes() {
+			t.Errorf("%s: %d nodes, want %d", sys.Name, topo.Nodes(), sys.Machine.Nodes())
+		}
+		if max := maxInt(sys.NodeCounts); max > sys.Machine.Nodes() {
+			t.Errorf("%s: sweeps %d nodes on a %d-node machine", sys.Name, max, sys.Machine.Nodes())
+		}
+	}
+}
+
+func TestVectorSizes(t *testing.T) {
+	sizes := VectorSizes()
+	if len(sizes) != 9 || sizes[0] != 32 || sizes[8] != 512<<20 {
+		t.Fatalf("sizes %v", sizes)
+	}
+	if SizeLabel(32) != "32 B" || SizeLabel(2<<10) != "2 KiB" || SizeLabel(512<<20) != "512 MiB" {
+		t.Error("labels")
+	}
+}
+
+func TestPlacementsFragmentedAndComplete(t *testing.T) {
+	sys := LUMI()
+	pls, err := Placements(sys, []int{16, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fragmented := false
+	for p, nodes := range pls {
+		if len(nodes) != p {
+			t.Fatalf("placement for %d has %d nodes", p, len(nodes))
+		}
+		seen := map[int]bool{}
+		for i, n := range nodes {
+			if n < 0 || n >= sys.Machine.Nodes() || seen[n] {
+				t.Fatalf("placement for %d invalid at %d", p, i)
+			}
+			seen[n] = true
+			if i > 0 && nodes[i] != nodes[i-1]+1 {
+				fragmented = true
+			}
+		}
+	}
+	if !fragmented {
+		t.Error("all placements contiguous; workload did not fragment the machine")
+	}
+}
+
+func TestSweepCollectiveShape(t *testing.T) {
+	sys := LUMI()
+	counts := []int{16, 32}
+	sizes := []int64{32, 1 << 20}
+	res, err := sweepCollective(sys, coll.CAllreduce, counts, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bine := res.names(isBine)
+	base := res.names(isBaseline)
+	if len(bine) < 2 || len(base) < 3 {
+		t.Fatalf("algo split: %d bine, %d baseline", len(bine), len(base))
+	}
+	for _, p := range counts {
+		for _, size := range sizes {
+			k := cellKey{P: p, Size: size}
+			if _, _, ok := res.best(bine, k); !ok {
+				t.Fatalf("no bine result for %+v", k)
+			}
+			name, c, ok := res.best(base, k)
+			if !ok || c.Time <= 0 {
+				t.Fatalf("no baseline result for %+v", k)
+			}
+			if l := familyLetter(res, name); l == "?" {
+				t.Fatalf("unknown family for %s", name)
+			}
+		}
+	}
+}
+
+func TestSweepLatencyVsBandwidthRegimes(t *testing.T) {
+	// Sanity of the cost model's shape: for tiny vectors the
+	// latency-optimized recursive doubling beats ring; for huge vectors on
+	// few nodes ring wins (the paper's Fig. 10a shows exactly this
+	// crossover).
+	sys := LUMI()
+	res, err := sweepCollective(sys, coll.CAllreduce, []int{16}, []int64{32, 512 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := cellKey{P: 16, Size: 32}
+	huge := cellKey{P: 16, Size: 512 << 20}
+	if res.Cells["ring"][small].Time < res.Cells["recursive-doubling"][small].Time {
+		t.Error("ring should lose at 32 B")
+	}
+	if res.Cells["ring"][huge].Time > res.Cells["rabenseifner"][huge].Time {
+		t.Error("ring should win at 512 MiB on 16 nodes")
+	}
+}
+
+func TestExperimentDriversRunQuick(t *testing.T) {
+	// Every driver must run to completion and produce non-trivial output.
+	opts := Options{Quick: true}
+	drivers := []struct {
+		name string
+		run  func(w *strings.Builder) error
+		want string
+	}{
+		{"fig1", func(w *strings.Builder) error { return Fig1(w) }, "6n global"},
+		{"eq2", func(w *strings.Builder) error { return Eq2(w) }, "0.6"},
+		{"table5", func(w *strings.Builder) error { return TableBinomial(w, MareNostrum(), opts) }, "allreduce"},
+		{"heatmap", func(w *strings.Builder) error { return HeatmapAllreduce(w, MareNostrum(), opts) }, "Bine best in"},
+		{"boxplots", func(w *strings.Builder) error { return Boxplots(w, MareNostrum(), opts) }, "alltoall"},
+		{"fig14", func(w *strings.Builder) error { return Fig14(w, opts) }, "strategy"},
+		{"fig11b", func(w *strings.Builder) error { return Fig11b(w, opts) }, "allreduce"},
+		{"hier", func(w *strings.Builder) error { return Hier(w, opts) }, "hier-bine"},
+		{"appD", func(w *strings.Builder) error { return AppD(w) }, "torus-optimized"},
+		{"ppn", func(w *strings.Builder) error { return PPN(w, opts) }, "ppn=4"},
+		{"fig5", func(w *strings.Builder) error { return Fig5(w, opts) }, "LUMI"},
+	}
+	for _, d := range drivers {
+		var sb strings.Builder
+		if err := d.run(&sb); err != nil {
+			t.Fatalf("%s: %v", d.name, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, d.want) {
+			t.Errorf("%s output missing %q:\n%s", d.name, d.want, out)
+		}
+	}
+}
+
+func TestFig1MatchesPaperNumbers(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "6n global") || !strings.Contains(out, "3n global") {
+		t.Fatalf("Fig. 1 numbers missing:\n%s", out)
+	}
+}
+
+func TestTorusBeatsFlatOnHops(t *testing.T) {
+	var sb strings.Builder
+	if err := AppD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var flat, torus int
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.Contains(line, "flat 1-D") {
+			if _, err := fmtSscanfInt(line, &flat); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if strings.Contains(line, "torus-optimized") {
+			if _, err := fmtSscanfInt(line, &torus); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if torus <= 0 || flat <= 0 || torus >= flat {
+		t.Fatalf("torus hops %d not below flat hops %d", torus, flat)
+	}
+}
+
+// fmtSscanfInt extracts the first integer from a line.
+func fmtSscanfInt(line string, out *int) (int, error) {
+	for _, field := range strings.Fields(line) {
+		var v int
+		if _, err := sscanInt(field, &v); err == nil {
+			*out = v
+			return 1, nil
+		}
+	}
+	return 0, errNoInt
+}
+
+var errNoInt = errString("no integer in line")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func sscanInt(s string, out *int) (int, error) {
+	v := 0
+	if len(s) == 0 {
+		return 0, errNoInt
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, errNoInt
+		}
+		v = v*10 + int(r-'0')
+	}
+	*out = v
+	return 1, nil
+}

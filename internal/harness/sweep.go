@@ -1,0 +1,257 @@
+package harness
+
+import (
+	"fmt"
+
+	"binetrees/internal/coll"
+	"binetrees/internal/core"
+	"binetrees/internal/fabric"
+	"binetrees/internal/netsim"
+	"binetrees/internal/topology"
+)
+
+// Options tune experiment scope.
+type Options struct {
+	// Quick trims node counts and vector sizes so the full suite runs in
+	// seconds (used by tests and the default CLI mode).
+	Quick bool
+}
+
+func (o Options) nodeCounts(sys System) []int {
+	if !o.Quick {
+		return sys.NodeCounts
+	}
+	var out []int
+	for _, p := range sys.NodeCounts {
+		if p <= 128 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (o Options) sizes() []int64 {
+	all := VectorSizes()
+	if !o.Quick {
+		return all
+	}
+	return []int64{all[0], all[2], all[4], all[6], all[8]}
+}
+
+// blockTraceCap bounds trace recording for algorithms whose message count
+// grows quadratically with the rank count (block-by-block, Swing, sparbit);
+// beyond it the harness skips them, as the paper trims its own largest runs
+// (Sec. 5.2.1).
+const blockTraceCap = 512
+
+func quadratic(name string) bool {
+	switch name {
+	case "bine-block", "swing", "sparbit":
+		return true
+	}
+	return false
+}
+
+// cell is one evaluated (algorithm, node count, vector size) data point.
+type cell struct {
+	Time   float64
+	Global float64
+}
+
+// cellKey addresses a sweep cell.
+type cellKey struct {
+	P    int
+	Size int64
+}
+
+// sweepResult holds every algorithm's cells for one collective.
+type sweepResult struct {
+	Algos []coll.Algorithm
+	Cells map[string]map[cellKey]cell
+}
+
+// recordTrace executes the algorithm once at unit block size (n = p
+// elements) on a recording in-process fabric and returns its trace.
+func recordTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
+	run, err := algo.Make(p, root)
+	if err != nil {
+		return nil, err
+	}
+	rec := fabric.NewRecorder(fabric.NewMem(p))
+	defer rec.Close()
+	n := p
+	err = fabric.Run(rec, func(c fabric.Comm) error {
+		inLen, outLen := algo.Coll.InOutLens(p, n)
+		in := make([]int32, inLen)
+		var out []int32
+		if outLen > 0 {
+			out = make([]int32, outLen)
+		}
+		return run(c, root, in, out, coll.OpSum)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %v/%s p=%d: %w", algo.Coll, algo.Name, p, err)
+	}
+	return rec.Trace(), nil
+}
+
+// sweepCollective evaluates every applicable algorithm of one collective
+// over the node counts and sizes on the system's fragmented placements.
+func sweepCollective(sys System, collective coll.Collective, counts []int, sizes []int64) (*sweepResult, error) {
+	placements, err := Placements(sys, counts)
+	if err != nil {
+		return nil, err
+	}
+	var algos []coll.Algorithm
+	for _, a := range coll.ByCollective(coll.Registry(), collective) {
+		if !sys.ExcludesAlgorithm(a.Name) {
+			algos = append(algos, a)
+		}
+	}
+	res := &sweepResult{Algos: algos, Cells: map[string]map[cellKey]cell{}}
+	for _, algo := range algos {
+		res.Cells[algo.Name] = map[cellKey]cell{}
+	}
+	for _, p := range counts {
+		topo, err := sys.TopologyFor(placements[p])
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range algos {
+			if quadratic(algo.Name) && p > blockTraceCap {
+				continue
+			}
+			tr, err := recordTrace(algo, p, 0)
+			if err != nil {
+				return nil, err
+			}
+			for _, size := range sizes {
+				ev := netsim.Eval{
+					Placement: placements[p],
+					ElemBytes: float64(size) / float64(p),
+					Reduces:   collective.Reduces(),
+					Overlap:   algo.Overlap,
+					CopyBytes: algo.CopyFactor * float64(size),
+				}
+				r, err := netsim.Evaluate(tr, topo, sys.Params, ev)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells[algo.Name][cellKey{P: p, Size: size}] = cell{Time: r.Time, Global: r.GlobalBytes}
+			}
+		}
+	}
+	return res, nil
+}
+
+// best returns the fastest algorithm among the given names for a cell.
+func (s *sweepResult) best(names []string, k cellKey) (string, cell, bool) {
+	bestName := ""
+	var bestCell cell
+	for _, name := range names {
+		c, ok := s.Cells[name][k]
+		if !ok {
+			continue
+		}
+		if bestName == "" || c.Time < bestCell.Time {
+			bestName, bestCell = name, c
+		}
+	}
+	return bestName, bestCell, bestName != ""
+}
+
+// names filters algorithm names by predicate.
+func (s *sweepResult) names(pred func(coll.Algorithm) bool) []string {
+	var out []string
+	for _, a := range s.Algos {
+		if pred(a) {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+func isBine(a coll.Algorithm) bool     { return a.Bine }
+func isBinomial(a coll.Algorithm) bool { return a.Binomial }
+func isBaseline(a coll.Algorithm) bool { return !a.Bine }
+
+// torusAlgo is a Fugaku-specific algorithm entry (the registry covers flat
+// networks; torus algorithms need the geometry).
+type torusAlgo struct {
+	Name    string
+	Coll    coll.Collective
+	Bine    bool
+	Overlap float64
+	Run     func(c fabric.Comm, tor core.Torus, root int, in, out []int32, op coll.Op) error
+	// VecMult is the required divisibility of the recorded element count
+	// beyond p (multiport slices).
+	VecMult int
+}
+
+func torusAlgos() []torusAlgo {
+	return []torusAlgo{
+		{Name: "bine-torus", Coll: coll.CAllreduce, Bine: true,
+			Run: func(c fabric.Comm, tor core.Torus, _ int, in, _ []int32, op coll.Op) error {
+				return coll.TorusAllreduce(c, tor, in, op)
+			}},
+		{Name: "bine-multiport", Coll: coll.CAllreduce, Bine: true,
+			Run: func(c fabric.Comm, tor core.Torus, _ int, in, _ []int32, op coll.Op) error {
+				return coll.TorusMultiportAllreduce(c, tor, in, op)
+			}},
+		{Name: "bucket", Coll: coll.CAllreduce,
+			Run: func(c fabric.Comm, tor core.Torus, _ int, in, _ []int32, op coll.Op) error {
+				return coll.BucketAllreduce(c, tor, in, op)
+			}},
+		{Name: "bine-bcast", Coll: coll.CBcast, Bine: true,
+			Run: func(c fabric.Comm, tor core.Torus, root int, in, _ []int32, op coll.Op) error {
+				return coll.TorusBcast(c, tor, core.BineDH, root, in)
+			}},
+		{Name: "bine-reduce", Coll: coll.CReduce, Bine: true,
+			Run: func(c fabric.Comm, tor core.Torus, root int, in, out []int32, op coll.Op) error {
+				return coll.TorusReduce(c, tor, core.BineDH, root, in, out, op)
+			}},
+	}
+}
+
+// recordTorusTrace executes a torus algorithm at small block granularity.
+func recordTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, int, error) {
+	p := tor.P()
+	mult := ta.VecMult
+	if mult == 0 {
+		mult = 2 * tor.NDims() // safe for every per-dimension split
+	}
+	n := p * mult
+	rec := fabric.NewRecorder(fabric.NewMem(p))
+	defer rec.Close()
+	err := fabric.Run(rec, func(c fabric.Comm) error {
+		inLen, outLen := ta.Coll.InOutLens(p, n)
+		in := make([]int32, inLen)
+		var out []int32
+		if outLen > 0 {
+			out = make([]int32, outLen)
+		}
+		return ta.Run(c, tor, root, in, out, coll.OpSum)
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("harness: torus %v/%s %v: %w", ta.Coll, ta.Name, tor.Dims, err)
+	}
+	return rec.Trace(), n, nil
+}
+
+// evaluateOnTorus scores a recorded trace on the torus network.
+func evaluateOnTorus(tr *fabric.Trace, recordedElems int, topo *topology.Torus, size int64, reduces bool, overlap float64) (cell, error) {
+	placement := make([]int, tr.P)
+	for i := range placement {
+		placement[i] = i
+	}
+	r, err := netsim.Evaluate(tr, topo, FugakuParams(), netsim.Eval{
+		Placement: placement,
+		ElemBytes: float64(size) / float64(recordedElems),
+		Reduces:   reduces,
+		Overlap:   overlap,
+	})
+	if err != nil {
+		return cell{}, err
+	}
+	return cell{Time: r.Time, Global: r.GlobalBytes}, nil
+}

@@ -1,0 +1,165 @@
+// Package netsim replays recorded communication traces (fabric.Trace)
+// against topology models to estimate completion time and to account
+// global-link traffic — the substitute for the paper's wall-clock
+// measurements on LUMI, Leonardo, MareNostrum 5 and Fugaku.
+//
+// The model is LogGP-flavoured with link contention: messages that share a
+// step are concurrent; each link serializes the bytes routed through it; the
+// step's duration is the worst latency plus the worst per-sender message
+// overhead plus the most-loaded link's transfer time; steps are summed.
+// Because every message's size in these collectives is exactly linear in the
+// block size, a trace recorded at unit block granularity can be rescaled to
+// any vector size without re-running the collective (validated by
+// TestTraceScalingExact).
+package netsim
+
+import (
+	"fmt"
+
+	"binetrees/internal/fabric"
+	"binetrees/internal/topology"
+)
+
+// Params are the machine constants of the cost model.
+type Params struct {
+	// AlphaLocal and AlphaGlobal are per-step base latencies (seconds)
+	// for intra-group and inter-group messages; global links are longer
+	// and slower to start on (Sec. 1 of the paper).
+	AlphaLocal, AlphaGlobal float64
+	// PerHopLatency is added per traversed link beyond injection/ejection
+	// (relevant for tori).
+	PerHopLatency float64
+	// MsgOverhead is the sender-side cost of each additional message
+	// within a step (block-by-block transmissions pay it).
+	MsgOverhead float64
+	// Gamma is the per-byte reduction compute cost (seconds/byte).
+	Gamma float64
+	// MemBW is the local copy bandwidth (bytes/s) charged for
+	// permute-strategy buffer shuffles.
+	MemBW float64
+}
+
+// Eval describes one evaluation of a recorded trace.
+type Eval struct {
+	// Placement maps rank → node.
+	Placement []int
+	// ElemBytes scales every recorded element to bytes: evaluating a
+	// trace recorded with b₀ blocks of one element at vector size n bytes
+	// uses ElemBytes = n / (number of recorded elements per vector).
+	ElemBytes float64
+	// Reduces marks collectives that fold incoming data (reduce,
+	// reduce-scatter, allreduce): received bytes are charged Gamma.
+	Reduces bool
+	// Overlap in [0,1] discounts reduction compute that hides behind
+	// communication (segmented/block-by-block variants overlap well).
+	Overlap float64
+	// CopyBytes charges extra local data movement (permute strategies),
+	// already scaled to bytes.
+	CopyBytes float64
+}
+
+// Result summarizes one evaluation.
+type Result struct {
+	// Time is the modelled completion time in seconds.
+	Time float64
+	// GlobalBytes is the total traffic crossing global links (the
+	// paper's headline metric); for tori it is byte·hops.
+	GlobalBytes float64
+	// TotalBytes is the total payload volume sent by all ranks.
+	TotalBytes float64
+	// Steps is the number of synchronous steps.
+	Steps int
+	// Messages is the total message count.
+	Messages int
+}
+
+// Evaluate replays the trace on the topology.
+func Evaluate(tr *fabric.Trace, topo topology.Topology, p Params, ev Eval) (Result, error) {
+	if len(ev.Placement) < tr.P {
+		return Result{}, fmt.Errorf("netsim: placement covers %d of %d ranks", len(ev.Placement), tr.P)
+	}
+	links := topo.Links()
+	loads := make([]float64, len(links))
+	var res Result
+	for _, step := range tr.Steps() {
+		if len(step) == 0 {
+			continue
+		}
+		res.Steps++
+		for i := range loads {
+			loads[i] = 0
+		}
+		alpha := 0.0
+		var maxRecv float64
+		recvPer := map[int]float64{}
+		sendCnt := map[int]int{}
+		maxMsgs := 0
+		for _, m := range step {
+			src, dst := ev.Placement[m.From], ev.Placement[m.To]
+			bytes := float64(m.Elems) * ev.ElemBytes
+			res.TotalBytes += bytes
+			res.Messages++
+			route := topo.Route(src, dst)
+			a := p.AlphaLocal
+			hops := 0
+			for _, id := range route {
+				loads[id] += bytes
+				if links[id].Kind == topology.Global {
+					a = p.AlphaGlobal
+					res.GlobalBytes += bytes
+					hops++
+				}
+			}
+			if hops > 1 {
+				a += float64(hops-1) * p.PerHopLatency
+			}
+			if a > alpha {
+				alpha = a
+			}
+			if ev.Reduces {
+				recvPer[m.To] += bytes
+				if recvPer[m.To] > maxRecv {
+					maxRecv = recvPer[m.To]
+				}
+			}
+			sendCnt[m.From]++
+			if sendCnt[m.From] > maxMsgs {
+				maxMsgs = sendCnt[m.From]
+			}
+		}
+		worst := 0.0
+		for i, load := range loads {
+			if load == 0 {
+				continue
+			}
+			if t := load / links[i].BW; t > worst {
+				worst = t
+			}
+		}
+		stepTime := alpha + worst
+		if maxMsgs > 1 {
+			stepTime += float64(maxMsgs-1) * p.MsgOverhead
+		}
+		if ev.Reduces && maxRecv > 0 {
+			stepTime += maxRecv * p.Gamma * (1 - ev.Overlap)
+		}
+		res.Time += stepTime
+	}
+	if ev.CopyBytes > 0 && p.MemBW > 0 {
+		res.Time += ev.CopyBytes / p.MemBW
+	}
+	return res, nil
+}
+
+// GlobalTraffic is the traffic-only fast path used by the Fig. 5 allocation
+// study: it returns the bytes crossing group boundaries (unit element size)
+// given a rank → group map, with no link model at all.
+func GlobalTraffic(tr *fabric.Trace, groupOf []int) (global, total int64) {
+	for _, m := range tr.Records {
+		total += int64(m.Elems)
+		if groupOf[m.From] != groupOf[m.To] {
+			global += int64(m.Elems)
+		}
+	}
+	return global, total
+}

@@ -1,0 +1,186 @@
+// Package stats provides the summary statistics used throughout the
+// experiment harness: geometric means for performance ratios (following the
+// paper's benchmarking methodology, which cites Hoefler & Belli's "twelve
+// ways"), and quartile boxplot summaries for the figure reproductions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of strictly positive values; it is the
+// correct average for ratios. It returns 0 for an empty input.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// Max returns the maximum of vals, or 0 for an empty input.
+func Max(vals []float64) float64 {
+	out := 0.0
+	for i, v := range vals {
+		if i == 0 || v > out {
+			out = v
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of vals using linear
+// interpolation; vals need not be sorted.
+func Quantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Box is a five-number boxplot summary with Tukey whiskers, matching the
+// paper's Fig. 5 legend (smallest sample > Q1−1.5·IQR, largest sample <
+// Q3+1.5·IQR).
+type Box struct {
+	N                int
+	WhiskLo, WhiskHi float64
+	Q1, Median, Q3   float64
+	Mean             float64
+}
+
+// NewBox summarizes vals.
+func NewBox(vals []float64) Box {
+	b := Box{N: len(vals)}
+	if len(vals) == 0 {
+		return b
+	}
+	b.Q1 = Quantile(vals, 0.25)
+	b.Median = Quantile(vals, 0.5)
+	b.Q3 = Quantile(vals, 0.75)
+	iqr := b.Q3 - b.Q1
+	loFence, hiFence := b.Q1-1.5*iqr, b.Q3+1.5*iqr
+	b.WhiskLo, b.WhiskHi = math.Inf(1), math.Inf(-1)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v >= loFence && v < b.WhiskLo {
+			b.WhiskLo = v
+		}
+		if v <= hiFence && v > b.WhiskHi {
+			b.WhiskHi = v
+		}
+	}
+	b.Mean = sum / float64(len(vals))
+	return b
+}
+
+// String renders the box as one compact line.
+func (b Box) String() string {
+	if b.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d whisk[%.1f,%.1f] q1=%.1f med=%.1f q3=%.1f mean=%.1f",
+		b.N, b.WhiskLo, b.WhiskHi, b.Q1, b.Median, b.Q3, b.Mean)
+}
+
+// Render draws an ASCII boxplot of the summary on a [lo, hi] axis of the
+// given width, e.g. `  |----[==M===]------|  `.
+func (b Box) Render(lo, hi float64, width int) string {
+	if b.N == 0 || width < 10 || hi <= lo {
+		return strings.Repeat(" ", width)
+	}
+	col := func(v float64) int {
+		c := int((v - lo) / (hi - lo) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := []rune(strings.Repeat(" ", width))
+	for c := col(b.WhiskLo); c <= col(b.WhiskHi); c++ {
+		row[c] = '-'
+	}
+	for c := col(b.Q1); c <= col(b.Q3); c++ {
+		row[c] = '='
+	}
+	row[col(b.WhiskLo)] = '|'
+	row[col(b.WhiskHi)] = '|'
+	row[col(b.Q1)] = '['
+	row[col(b.Q3)] = ']'
+	row[col(b.Median)] = 'M'
+	return string(row)
+}
+
+// WinLoss summarizes a set of head-to-head time comparisons the way the
+// paper's Tables 3–5 do: the fraction of configurations each side wins
+// (ties under 1% are neither), and the average (geometric mean) and maximum
+// gain/drop in the won/lost configurations.
+type WinLoss struct {
+	Configs          int
+	WinPct, LossPct  float64
+	AvgGain, MaxGain float64 // performance gain where the candidate wins
+	AvgDrop, MaxDrop float64 // performance drop where it loses
+}
+
+// NewWinLoss compares candidate times against baseline times (lower is
+// better). Ratios within 1% count as ties, following the paper's treatment
+// of "minimal differences (below 1%)".
+func NewWinLoss(candidate, baseline []float64) WinLoss {
+	wl := WinLoss{Configs: len(candidate)}
+	var gains, drops []float64
+	for i := range candidate {
+		ratio := baseline[i] / candidate[i] // >1 means the candidate is faster
+		switch {
+		case ratio > 1.01:
+			gains = append(gains, ratio-1)
+		case ratio < 0.99:
+			drops = append(drops, 1/ratio-1)
+		}
+	}
+	if wl.Configs > 0 {
+		wl.WinPct = 100 * float64(len(gains)) / float64(wl.Configs)
+		wl.LossPct = 100 * float64(len(drops)) / float64(wl.Configs)
+	}
+	wl.AvgGain, wl.MaxGain = geoPct(gains), 100*Max(gains)
+	wl.AvgDrop, wl.MaxDrop = geoPct(drops), 100*Max(drops)
+	return wl
+}
+
+// geoPct is the geometric mean of (1+x) minus one, in percent — the paper's
+// way of averaging improvement ratios.
+func geoPct(deltas []float64) float64 {
+	if len(deltas) == 0 {
+		return 0
+	}
+	ratios := make([]float64, len(deltas))
+	for i, d := range deltas {
+		ratios[i] = 1 + d
+	}
+	return 100 * (GeoMean(ratios) - 1)
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %f", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Error("empty")
+	}
+	if g := GeoMean([]float64{1, -1}); !math.IsNaN(g) {
+		t.Error("negative input must yield NaN")
+	}
+	// Property: the geometric mean lies between min and max.
+	f := func(raw []uint8) bool {
+		var vals []float64
+		for _, r := range raw {
+			vals = append(vals, float64(r)+1)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		g := GeoMean(vals)
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(vals, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%f) = %f, want %f", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("interpolated median %f", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile")
+	}
+}
+
+func TestBox(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100} // 100 is an outlier
+	b := NewBox(vals)
+	if b.N != 9 || b.Median != 5 {
+		t.Fatalf("box %+v", b)
+	}
+	if b.WhiskHi == 100 {
+		t.Error("outlier included in whisker")
+	}
+	if b.WhiskLo != 1 {
+		t.Errorf("low whisker %f", b.WhiskLo)
+	}
+	if b.Mean < 15 {
+		t.Errorf("mean %f should include the outlier", b.Mean)
+	}
+	if NewBox(nil).String() != "n=0" {
+		t.Error("empty box string")
+	}
+	if len(b.String()) == 0 {
+		t.Error("box string")
+	}
+}
+
+func TestBoxRender(t *testing.T) {
+	b := NewBox([]float64{10, 20, 30, 40, 50})
+	row := b.Render(0, 60, 40)
+	if len([]rune(row)) != 40 {
+		t.Fatalf("width %d", len(row))
+	}
+	var hasM, hasBracket bool
+	for _, r := range row {
+		if r == 'M' {
+			hasM = true
+		}
+		if r == '[' || r == ']' {
+			hasBracket = true
+		}
+	}
+	if !hasM || !hasBracket {
+		t.Errorf("render %q", row)
+	}
+	if NewBox(nil).Render(0, 1, 20) != "                    " {
+		t.Error("empty render")
+	}
+}
+
+func TestWinLoss(t *testing.T) {
+	candidate := []float64{1, 1, 2, 1}    // times
+	baseline := []float64{2, 1.5, 1, 1.0} // candidate wins 2, loses 1, ties 1
+	wl := NewWinLoss(candidate, baseline)
+	if wl.Configs != 4 {
+		t.Fatal("configs")
+	}
+	if math.Abs(wl.WinPct-50) > 1e-9 || math.Abs(wl.LossPct-25) > 1e-9 {
+		t.Fatalf("win %f loss %f", wl.WinPct, wl.LossPct)
+	}
+	if wl.MaxGain != 100 {
+		t.Errorf("max gain %f", wl.MaxGain)
+	}
+	if wl.MaxDrop != 100 {
+		t.Errorf("max drop %f", wl.MaxDrop)
+	}
+	if wl.AvgGain <= 0 || wl.AvgGain > wl.MaxGain {
+		t.Errorf("avg gain %f", wl.AvgGain)
+	}
+}

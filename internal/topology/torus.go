@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"fmt"
+
+	"binetrees/internal/core"
+)
+
+// Torus is a Fugaku-like k-dimensional torus. Every inter-node hop uses a
+// dedicated per-(node, dimension, direction) link; routing is
+// dimension-ordered and minimal (ties broken toward the positive
+// direction). Following the paper's observation that "on a torus, all links
+// can be considered oversubscribed", torus links are classified Global so
+// the traffic-reduction metric counts byte·hops.
+type Torus struct {
+	*common
+	name string
+	geom core.Torus
+	// link id for (node, dim, +1) at dimLinks[node][dim][0], (node, dim,
+	// −1) at [1].
+	dimLinks [][][2]int
+}
+
+// TorusConfig sizes a Torus topology.
+type TorusConfig struct {
+	Name string
+	Dims []int
+	// NICBW is the per-direction injection bandwidth (one NIC per
+	// direction on Fugaku; the cost model exploits this through the
+	// per-direction links, so injection here is per-NIC).
+	NICBW float64
+	// LinkBW is the capacity of each inter-node torus link.
+	LinkBW float64
+}
+
+// NewTorus builds the topology.
+func NewTorus(cfg TorusConfig) (*Torus, error) {
+	geom, err := core.NewTorus(cfg.Dims...)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	n := geom.P()
+	t := &Torus{common: newCommon(n, cfg.NICBW), name: cfg.Name, geom: geom}
+	t.dimLinks = make([][][2]int, n)
+	for node := 0; node < n; node++ {
+		t.dimLinks[node] = make([][2]int, geom.NDims())
+		for d := 0; d < geom.NDims(); d++ {
+			t.dimLinks[node][d][0] = t.addLink(Global, cfg.LinkBW)
+			t.dimLinks[node][d][1] = t.addLink(Global, cfg.LinkBW)
+		}
+	}
+	return t, nil
+}
+
+// Name returns the configured system name.
+func (t *Torus) Name() string { return t.name }
+
+// Geometry exposes the underlying coordinate system.
+func (t *Torus) Geometry() core.Torus { return t.geom }
+
+// NumGroups treats every node as its own group: any inter-node hop counts
+// as oversubscribed traffic.
+func (t *Torus) NumGroups() int { return t.nodes }
+
+// GroupOf is the identity.
+func (t *Torus) GroupOf(node int) int { return node }
+
+// Route walks dimension order, taking the shorter ring direction in each
+// dimension and collecting one link per hop.
+func (t *Torus) Route(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	route := []int{t.inject(src)}
+	cur := src
+	cc := t.geom.Coord(src)
+	dc := t.geom.Coord(dst)
+	for d := 0; d < t.geom.NDims(); d++ {
+		size := t.geom.Dims[d]
+		fwd := core.Mod(dc[d]-cc[d], size)
+		dir, hops := +1, fwd
+		if back := size - fwd; fwd != 0 && back < fwd {
+			dir, hops = -1, back
+		}
+		for h := 0; h < hops; h++ {
+			idx := 0
+			if dir < 0 {
+				idx = 1
+			}
+			route = append(route, t.dimLinks[cur][d][idx])
+			cur = t.geom.Displace(cur, d, dir)
+		}
+	}
+	return append(route, t.eject(dst))
+}
