@@ -3,6 +3,7 @@ package binetrees
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"binetrees/internal/coll"
@@ -129,6 +130,10 @@ func benchArtifact(b *testing.B, run func(w io.Writer, opts harness.Options) err
 	b.Helper()
 	opts := harness.Options{Quick: true}
 	for i := 0; i < b.N; i++ {
+		// Drop the process-wide trace cache so every iteration — and every
+		// benchmark, regardless of run order — records its schedules from
+		// scratch, as the serial engine did.
+		harness.ResetTraceCache()
 		if err := run(io.Discard, opts); err != nil {
 			b.Fatal(err)
 		}
@@ -209,6 +214,25 @@ func BenchmarkHierarchicalAllreduce(b *testing.B) {
 
 func BenchmarkAppDTorus(b *testing.B) {
 	benchArtifact(b, func(w io.Writer, _ harness.Options) error { return harness.AppD(w) })
+}
+
+// BenchmarkSweepParallel tracks the worker-pool speedup of the sweep
+// engine: the same quick allreduce sweep (heatmap artifact) on one worker
+// vs one per CPU. The trace cache is dropped every iteration so both widths
+// record their schedules from scratch.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			opts := harness.Options{Quick: true, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				harness.ResetTraceCache()
+				if err := harness.HeatmapAllreduce(io.Discard, harness.LUMI(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	harness.ResetTraceCache()
 }
 
 // BenchmarkPublicAPI measures the façade overhead end to end.

@@ -1,12 +1,18 @@
 // Command binebench regenerates the tables and figures of the Bine Trees
 // paper (SC '25) on the simulated systems. Each experiment prints a text
-// rendering of the corresponding paper artifact; see EXPERIMENTS.md for the
-// paper-vs-measured comparison.
+// rendering of the corresponding paper artifact; EXPERIMENTS.md at the
+// repository root maps every experiment name to its paper artifact.
+//
+// Sweep cells are evaluated on a worker pool (one worker per CPU by
+// default; -workers overrides) with a process-wide trace cache, so -full
+// runs scale with the hardware while producing byte-identical artifacts at
+// any pool width.
 //
 // Usage:
 //
 //	binebench -experiment all           # everything, quick sweep
 //	binebench -experiment table3 -full  # one artifact at full paper scale
+//	binebench -experiment all -workers 1
 //
 // Experiments: fig1, eq2, fig5, table3, fig9a, fig9b, table4, fig10a,
 // fig10b, table5, fig11a, fig11b, fig14, hier, ppn, appD, all.
@@ -24,8 +30,9 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "which paper artifact to regenerate")
 	full := flag.Bool("full", false, "run the full paper-scale sweep (slower) instead of the quick one")
+	workers := flag.Int("workers", 0, "sweep worker pool width (0 = one per CPU)")
 	flag.Parse()
-	opts := harness.Options{Quick: !*full}
+	opts := harness.Options{Quick: !*full, Workers: *workers}
 	if err := run(os.Stdout, *experiment, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "binebench:", err)
 		os.Exit(1)

@@ -4,31 +4,71 @@
 // butterflies) the block send sets — a debugging lens onto Sections 2 and 3
 // of the paper.
 //
+// -p accepts a comma-separated list of rank counts; the schedules are
+// constructed and rendered on a worker pool (-workers bounds it, 0 = one
+// per CPU) and printed in the order given.
+//
 // Usage:
 //
 //	binetree -p 16 -kind bine-dh -root 0
 //	binetree -p 8 -butterfly bine-dd
+//	binetree -p 256,1024,4096 -kind bine-dh -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"binetrees/internal/core"
+	"binetrees/internal/pool"
 )
 
 func main() {
-	p := flag.Int("p", 16, "number of ranks")
+	ps := flag.String("p", "16", "number of ranks (comma-separated list renders several)")
 	kind := flag.String("kind", "bine-dh", "tree kind: bine-dh, bine-dd, binomial-dd, binomial-dh")
 	bfly := flag.String("butterfly", "", "instead of a tree, print a butterfly: bine-dh, bine-dd, binomial-dh, binomial-dd, swing")
 	root := flag.Int("root", 0, "tree root")
+	workers := flag.Int("workers", 0, "worker pool width for multiple rank counts (0 = one per CPU)")
 	flag.Parse()
-	if err := run(*p, *kind, *bfly, *root); err != nil {
+	if err := runAll(os.Stdout, *ps, *kind, *bfly, *root, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "binetree:", err)
 		os.Exit(1)
 	}
+}
+
+// runAll renders every requested rank count: each count builds and formats
+// its schedule on the pool, then the buffers are printed in argument order.
+func runAll(w io.Writer, ps, kindName, bflyName string, root, workers int) error {
+	fields := strings.Split(ps, ",")
+	counts := make([]int, 0, len(fields))
+	for _, f := range fields {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad rank count %q", f)
+		}
+		counts = append(counts, p)
+	}
+	outs, err := pool.Collect(workers, len(counts), func(i int) (string, error) {
+		var sb strings.Builder
+		if err := run(&sb, counts[i], kindName, bflyName, root); err != nil {
+			return "", err
+		}
+		return sb.String(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, out := range outs {
+		if i > 0 {
+			fmt.Fprintln(w, strings.Repeat("=", 80))
+		}
+		fmt.Fprint(w, out)
+	}
+	return nil
 }
 
 var treeKinds = map[string]core.Kind{
@@ -46,9 +86,9 @@ var bflyKinds = map[string]core.ButterflyKind{
 	"swing":       core.BflySwing,
 }
 
-func run(p int, kindName, bflyName string, root int) error {
+func run(w io.Writer, p int, kindName, bflyName string, root int) error {
 	if bflyName != "" {
-		return printButterfly(p, bflyName)
+		return printButterfly(w, p, bflyName)
 	}
 	kind, ok := treeKinds[kindName]
 	if !ok {
@@ -58,7 +98,7 @@ func run(p int, kindName, bflyName string, root int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s tree over %d ranks, root %d, %d steps\n\n", kindName, p, root, t.Steps)
+	fmt.Fprintf(w, "%s tree over %d ranks, root %d, %d steps\n\n", kindName, p, root, t.Steps)
 	for step := 0; step < t.Steps; step++ {
 		pairs := t.StepSenders(step)
 		var parts []string
@@ -69,9 +109,9 @@ func run(p int, kindName, bflyName string, root int) error {
 				maxDist = d
 			}
 		}
-		fmt.Printf("step %d (max modular distance %d): %s\n", step, maxDist, strings.Join(parts, "  "))
+		fmt.Fprintf(w, "step %d (max modular distance %d): %s\n", step, maxDist, strings.Join(parts, "  "))
 	}
-	fmt.Printf("\n%-6s %-8s %-6s %-10s %s\n", "rank", "parent", "join", "negabinary", "subtree (circular runs)")
+	fmt.Fprintf(w, "\n%-6s %-8s %-6s %-10s %s\n", "rank", "parent", "join", "negabinary", "subtree (circular runs)")
 	for r := 0; r < p; r++ {
 		nb := core.RankToNB(core.Mod(r-root, p), p)
 		var runs []string
@@ -82,12 +122,12 @@ func run(p int, kindName, bflyName string, root int) error {
 				runs = append(runs, fmt.Sprintf("%d..%d", run.Start, core.Mod(run.Start+run.Len-1, p)))
 			}
 		}
-		fmt.Printf("%-6d %-8d %-6d %0*b %s\n", r, t.Parent[r], t.JoinStep[r], t.Steps, nb, strings.Join(runs, ","))
+		fmt.Fprintf(w, "%-6d %-8d %-6d %0*b %s\n", r, t.Parent[r], t.JoinStep[r], t.Steps, nb, strings.Join(runs, ","))
 	}
 	return nil
 }
 
-func printButterfly(p int, name string) error {
+func printButterfly(w io.Writer, p int, name string) error {
 	kind, ok := bflyKinds[name]
 	if !ok {
 		return fmt.Errorf("unknown butterfly kind %q", name)
@@ -96,20 +136,20 @@ func printButterfly(p int, name string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s butterfly over %d ranks, %d steps\n\n", name, p, b.S)
+	fmt.Fprintf(w, "%s butterfly over %d ranks, %d steps\n\n", name, p, b.S)
 	for i := 0; i < b.S; i++ {
-		fmt.Printf("step %d (modular distance %d):\n", i, b.ModDistAt(i))
+		fmt.Fprintf(w, "step %d (modular distance %d):\n", i, b.ModDistAt(i))
 		for r := 0; r < p; r++ {
 			q := b.Partner(r, i)
 			if r < q {
-				fmt.Printf("  %d ⇄ %d   %d sends blocks %v\n", r, q, r, b.SendSet(r, i))
+				fmt.Fprintf(w, "  %d ⇄ %d   %d sends blocks %v\n", r, q, r, b.SendSet(r, i))
 			}
 		}
 	}
-	fmt.Printf("\npermute positions (block → reverse(ν)): ")
+	fmt.Fprintf(w, "\npermute positions (block → reverse(ν)): ")
 	for blk := 0; blk < p; blk++ {
-		fmt.Printf("%d→%d ", blk, b.PermutedPosition(blk))
+		fmt.Fprintf(w, "%d→%d ", blk, b.PermutedPosition(blk))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }

@@ -1,0 +1,3 @@
+module binetrees
+
+go 1.24

@@ -11,6 +11,7 @@ import (
 	"binetrees/internal/core"
 	"binetrees/internal/fabric"
 	"binetrees/internal/netsim"
+	"binetrees/internal/pool"
 	"binetrees/internal/stats"
 	"binetrees/internal/topology"
 )
@@ -108,22 +109,35 @@ func Fig5(w io.Writer, opts Options) error {
 		wl := FragmentingWorkload(sc.machine, sc.maxP, sc.seed)
 		wl.Run(800) // reach steady-state fragmentation before sampling
 		jobs := wl.Run(sc.jobs)
-		buckets := map[int][]float64{}
+		// Record the two butterfly traces of every job size this case needs
+		// on the worker pool before the serial scoring pass; each (kind,
+		// rank count) recording is its own job.
+		var missing []int
 		for _, job := range jobs {
 			p := len(job.Nodes)
 			if p < 16 || p&(p-1) != 0 {
 				continue // the study buckets power-of-two jobs ≥ 16 nodes
 			}
 			if _, ok := traces[p]; !ok {
-				bt, err := allreduceTrace(core.BflyBineDD, p)
-				if err != nil {
-					return err
-				}
-				nt, err := allreduceTrace(core.BflyBinomialDD, p)
-				if err != nil {
-					return err
-				}
-				traces[p] = [2]*fabric.Trace{bt, nt}
+				traces[p] = [2]*fabric.Trace{}
+				missing = append(missing, p)
+			}
+		}
+		kinds := [2]core.ButterflyKind{core.BflyBineDD, core.BflyBinomialDD}
+		recorded, err := pool.Collect(opts.Workers, 2*len(missing), func(i int) (*fabric.Trace, error) {
+			return allreduceTrace(kinds[i%2], missing[i/2])
+		})
+		if err != nil {
+			return err
+		}
+		for i, p := range missing {
+			traces[p] = [2]*fabric.Trace{recorded[2*i], recorded[2*i+1]}
+		}
+		buckets := map[int][]float64{}
+		for _, job := range jobs {
+			p := len(job.Nodes)
+			if p < 16 || p&(p-1) != 0 {
+				continue
 			}
 			tr := traces[p]
 			bine, _ := netsim.GlobalTraffic(tr[0], job.Groups)
@@ -160,7 +174,7 @@ func TableBinomial(w io.Writer, sys System, opts Options) error {
 	fmt.Fprintf(w, "  %-15s %6s %15s %6s %15s %18s\n",
 		"collective", "%win", "avg/max gain", "%loss", "avg/max drop", "avg/max traffic red")
 	for _, collective := range coll.Collectives {
-		res, err := sweepCollective(sys, collective, counts, sizes)
+		res, err := sweepCollective(sys, collective, counts, sizes, opts.Workers)
 		if err != nil {
 			return err
 		}
@@ -225,7 +239,7 @@ func familyLetter(res *sweepResult, name string) string {
 func HeatmapAllreduce(w io.Writer, sys System, opts Options) error {
 	counts := opts.nodeCounts(sys)
 	sizes := opts.sizes()
-	res, err := sweepCollective(sys, coll.CAllreduce, counts, sizes)
+	res, err := sweepCollective(sys, coll.CAllreduce, counts, sizes, opts.Workers)
 	if err != nil {
 		return err
 	}
@@ -274,7 +288,7 @@ func Boxplots(w io.Writer, sys System, opts Options) error {
 	fmt.Fprintf(w, "Per-collective improvement over the best baseline on %s (cells where Bine wins):\n", sys.Name)
 	fmt.Fprintf(w, "  %-15s %-6s %-46s %s\n", "collective", "win%", "improvement %  [0 ... 100]", "summary")
 	for _, collective := range coll.Collectives {
-		res, err := sweepCollective(sys, collective, counts, sizes)
+		res, err := sweepCollective(sys, collective, counts, sizes, opts.Workers)
 		if err != nil {
 			return err
 		}
@@ -312,7 +326,7 @@ func Fig14(w io.Writer, opts Options) error {
 	sys := LUMI()
 	counts := opts.nodeCounts(sys)
 	sizes := opts.sizes()
-	res, err := sweepCollective(sys, coll.CAllgather, counts, sizes)
+	res, err := sweepCollective(sys, coll.CAllgather, counts, sizes, opts.Workers)
 	if err != nil {
 		return err
 	}
@@ -391,101 +405,126 @@ func Fig11b(w io.Writer, opts Options) error {
 			flatBase: []string{"recursive-doubling", "ring", "bruck"}},
 	}
 	registry := coll.Registry()
+	// Every shape is shared by every collective group; build the geometry
+	// and network model once, up front.
+	tors := make([]core.Torus, len(shapes))
+	topos := make([]*topology.Torus, len(shapes))
+	for i, dims := range shapes {
+		tors[i] = core.MustTorus(dims...)
+		topo, err := FugakuTopology(dims)
+		if err != nil {
+			return err
+		}
+		topos[i] = topo
+	}
+	// One eval job per (collective group, shape, algorithm), appended in the
+	// serial evaluation order: a group's Bine candidates (torus then flat)
+	// followed by its baselines (torus then flat). Each job records — or
+	// fetches from the trace cache — its schedule and scores every size;
+	// results land in the job's own slot of an index-addressed slice.
+	type evalJob struct {
+		group, shape int
+		torus        *torusAlgo // nil for registry (flat) algorithms
+		flat         string
+	}
+	var jobs []evalJob
+	for gi := range groups {
+		g := &groups[gi]
+		for si := range shapes {
+			for ai := range g.bine {
+				jobs = append(jobs, evalJob{group: gi, shape: si, torus: &g.bine[ai]})
+			}
+			for _, name := range g.flatBine {
+				jobs = append(jobs, evalJob{group: gi, shape: si, flat: name})
+			}
+			for ai := range g.base {
+				jobs = append(jobs, evalJob{group: gi, shape: si, torus: &g.base[ai]})
+			}
+			for _, name := range g.flatBase {
+				jobs = append(jobs, evalJob{group: gi, shape: si, flat: name})
+			}
+		}
+	}
+	outs, err := pool.Collect(opts.Workers, len(jobs), func(i int) (map[int64]float64, error) {
+		j := jobs[i]
+		tor, topo := tors[j.shape], topos[j.shape]
+		reduces := groups[j.group].collective.Reduces()
+		if j.torus != nil {
+			tr, n, err := cachedTorusTrace(*j.torus, tor, 0)
+			if err != nil {
+				return nil, err
+			}
+			out := make(map[int64]float64, len(sizes))
+			for _, size := range sizes {
+				c, err := evaluateOnTorus(tr, n, topo, size, reduces, j.torus.Overlap)
+				if err != nil {
+					return nil, err
+				}
+				out[size] = c.Time
+			}
+			return out, nil
+		}
+		algo, ok := coll.Find(registry, groups[j.group].collective, j.flat)
+		if !ok {
+			return nil, fmt.Errorf("harness: %v/%s not registered", groups[j.group].collective, j.flat)
+		}
+		if algo.Pow2Only {
+			if _, pow2 := core.Log2(tor.P()); !pow2 {
+				return nil, nil // skipped: a nil slot folds as no result
+			}
+		}
+		tr, err := cachedTrace(algo, tor.P(), 0)
+		if err != nil {
+			return nil, err
+		}
+		placement := make([]int, tor.P())
+		for r := range placement {
+			placement[r] = r
+		}
+		out := make(map[int64]float64, len(sizes))
+		for _, size := range sizes {
+			r, err := netsim.Evaluate(tr, topo, FugakuParams(), netsim.Eval{
+				Placement: placement,
+				ElemBytes: float64(size) / float64(tor.P()),
+				Reduces:   reduces,
+				Overlap:   algo.Overlap,
+				CopyBytes: algo.CopyFactor * float64(size),
+			})
+			if err != nil {
+				return nil, err
+			}
+			out[size] = r.Time
+		}
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+	// Fold and render serially in the original (group, shape) order; min is
+	// order-independent, so the boxplots match the serial engine exactly.
+	fold := func(dst, src map[int64]float64) {
+		for size, t := range src {
+			if cur, ok := dst[size]; !ok || t < cur {
+				dst[size] = t
+			}
+		}
+	}
+	jobIdx := 0
 	for _, g := range groups {
 		var improvements []float64
 		cells, wins := 0, 0
-		for _, dims := range shapes {
-			tor := core.MustTorus(dims...)
-			topo, err := FugakuTopology(dims)
-			if err != nil {
-				return err
-			}
-			reduces := g.collective.Reduces()
-			evalTorus := func(a torusAlgo) (map[int64]float64, error) {
-				tr, n, err := recordTorusTrace(a, tor, 0)
-				if err != nil {
-					return nil, err
-				}
-				out := map[int64]float64{}
-				for _, size := range sizes {
-					c, err := evaluateOnTorus(tr, n, topo, size, reduces, a.Overlap)
-					if err != nil {
-						return nil, err
-					}
-					out[size] = c.Time
-				}
-				return out, nil
-			}
-			evalFlat := func(name string) (map[int64]float64, error) {
-				algo, ok := coll.Find(registry, g.collective, name)
-				if !ok {
-					return nil, fmt.Errorf("harness: %v/%s not registered", g.collective, name)
-				}
-				if algo.Pow2Only {
-					if _, pow2 := core.Log2(tor.P()); !pow2 {
-						return nil, nil
-					}
-				}
-				tr, err := recordTrace(algo, tor.P(), 0)
-				if err != nil {
-					return nil, err
-				}
-				placement := make([]int, tor.P())
-				for i := range placement {
-					placement[i] = i
-				}
-				out := map[int64]float64{}
-				for _, size := range sizes {
-					r, err := netsim.Evaluate(tr, topo, FugakuParams(), netsim.Eval{
-						Placement: placement,
-						ElemBytes: float64(size) / float64(tor.P()),
-						Reduces:   reduces,
-						Overlap:   algo.Overlap,
-						CopyBytes: algo.CopyFactor * float64(size),
-					})
-					if err != nil {
-						return nil, err
-					}
-					out[size] = r.Time
-				}
-				return out, nil
-			}
+		for range shapes {
 			bineTimes := map[int64]float64{}
 			baseTimes := map[int64]float64{}
-			fold := func(dst map[int64]float64, src map[int64]float64) {
-				for size, t := range src {
-					if cur, ok := dst[size]; !ok || t < cur {
-						dst[size] = t
-					}
+			nBine := len(g.bine) + len(g.flatBine)
+			nAll := nBine + len(g.base) + len(g.flatBase)
+			for k := 0; k < nAll; k++ {
+				if k < nBine {
+					fold(bineTimes, outs[jobIdx])
+				} else {
+					fold(baseTimes, outs[jobIdx])
 				}
-			}
-			for _, a := range g.bine {
-				m, err := evalTorus(a)
-				if err != nil {
-					return err
-				}
-				fold(bineTimes, m)
-			}
-			for _, name := range g.flatBine {
-				m, err := evalFlat(name)
-				if err != nil {
-					return err
-				}
-				fold(bineTimes, m)
-			}
-			for _, a := range g.base {
-				m, err := evalTorus(a)
-				if err != nil {
-					return err
-				}
-				fold(baseTimes, m)
-			}
-			for _, name := range g.flatBase {
-				m, err := evalFlat(name)
-				if err != nil {
-					return err
-				}
-				fold(baseTimes, m)
+				jobIdx++
 			}
 			for _, size := range sizes {
 				bt, ok1 := bineTimes[size]
@@ -524,16 +563,18 @@ func Hier(w io.Writer, opts Options) error {
 	sizes := opts.sizes()
 	fmt.Fprintln(w, "Sec. 6.2 — hierarchical Bine allreduce on 4-GPU nodes (times in µs; best per cell marked *):")
 	params := defaultParams()
-	algos := []struct {
+	type hierAlgo struct {
 		name string
 		run  func(c fabric.Comm, buf []int32) error
-	}{
-		{"hier-bine", nil}, // filled per p below
-		{"flat-bine-bw", nil},
-		{"ring", nil},
-		{"rabenseifner", nil},
 	}
-	for _, p := range counts {
+	type hierSetup struct {
+		topo  topology.Topology
+		algos []hierAlgo
+	}
+	// Build each GPU count's topology and schedules serially (cheap), then
+	// execute and score every (count, algorithm) pair on the worker pool.
+	setups := make([]hierSetup, len(counts))
+	for ci, p := range counts {
 		topo, err := topology.NewUpDown(topology.UpDownConfig{
 			Name: "gpu-cluster", Groups: p / gpusPerNode, NodesPerGroup: gpusPerNode,
 			NICBW: topology.GbpsToBytes(1600), Oversub: 8, // NVLink in, tapered IB out
@@ -549,62 +590,73 @@ func Hier(w io.Writer, opts Options) error {
 		if err != nil {
 			return err
 		}
-		algos[0].run = func(c fabric.Comm, buf []int32) error {
-			return coll.HierarchicalAllreduce(c, gpusPerNode, core.BflyBineDD, buf, coll.OpSum)
+		setups[ci] = hierSetup{topo: topo, algos: []hierAlgo{
+			{"hier-bine", func(c fabric.Comm, buf []int32) error {
+				return coll.HierarchicalAllreduce(c, gpusPerNode, core.BflyBineDD, buf, coll.OpSum)
+			}},
+			{"flat-bine-bw", func(c fabric.Comm, buf []int32) error {
+				return coll.AllreduceRsAg(c, bfly, buf, coll.OpSum)
+			}},
+			{"ring", func(c fabric.Comm, buf []int32) error {
+				return coll.RingAllreduce(c, buf, coll.OpSum)
+			}},
+			{"rabenseifner", func(c fabric.Comm, buf []int32) error {
+				return coll.AllreduceRsAg(c, binom, buf, coll.OpSum)
+			}},
+		}}
+	}
+	algosPerCount := len(setups[0].algos)
+	times, err := pool.Collect(opts.Workers, len(counts)*algosPerCount, func(i int) (map[int64]float64, error) {
+		ci, ai := i/algosPerCount, i%algosPerCount
+		p := counts[ci]
+		a := setups[ci].algos[ai]
+		rec := fabric.NewRecorder(fabric.NewMem(p))
+		n := p * gpusPerNode
+		err := fabric.Run(rec, func(c fabric.Comm) error {
+			return a.run(c, make([]int32, n))
+		})
+		rec.Close()
+		if err != nil {
+			return nil, err
 		}
-		algos[1].run = func(c fabric.Comm, buf []int32) error {
-			return coll.AllreduceRsAg(c, bfly, buf, coll.OpSum)
-		}
-		algos[2].run = func(c fabric.Comm, buf []int32) error {
-			return coll.RingAllreduce(c, buf, coll.OpSum)
-		}
-		algos[3].run = func(c fabric.Comm, buf []int32) error {
-			return coll.AllreduceRsAg(c, binom, buf, coll.OpSum)
-		}
+		tr := rec.Trace()
 		placement := make([]int, p)
-		for i := range placement {
-			placement[i] = i
+		for r := range placement {
+			placement[r] = r
 		}
-		fmt.Fprintf(w, "  %d GPUs:\n", p)
-		times := map[string]map[int64]float64{}
-		for _, a := range algos {
-			run := a.run
-			rec := fabric.NewRecorder(fabric.NewMem(p))
-			n := p * gpusPerNode
-			err := fabric.Run(rec, func(c fabric.Comm) error {
-				return run(c, make([]int32, n))
+		out := make(map[int64]float64, len(sizes))
+		for _, size := range sizes {
+			r, err := netsim.Evaluate(tr, setups[ci].topo, params, netsim.Eval{
+				Placement: placement,
+				ElemBytes: float64(size) / float64(n),
+				Reduces:   true,
+				Overlap:   0.3,
 			})
-			rec.Close()
 			if err != nil {
-				return err
+				return nil, err
 			}
-			tr := rec.Trace()
-			times[a.name] = map[int64]float64{}
-			for _, size := range sizes {
-				r, err := netsim.Evaluate(tr, topo, params, netsim.Eval{
-					Placement: placement,
-					ElemBytes: float64(size) / float64(n),
-					Reduces:   true,
-					Overlap:   0.3,
-				})
-				if err != nil {
-					return err
-				}
-				times[a.name][size] = r.Time
-			}
+			out[size] = r.Time
 		}
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+	for ci, p := range counts {
+		fmt.Fprintf(w, "  %d GPUs:\n", p)
+		algTimes := times[ci*algosPerCount : (ci+1)*algosPerCount]
 		fmt.Fprintf(w, "    %-14s", "")
 		for _, size := range sizes {
 			fmt.Fprintf(w, " %10s", SizeLabel(size))
 		}
 		fmt.Fprintln(w)
-		for _, a := range algos {
+		for ai, a := range setups[ci].algos {
 			fmt.Fprintf(w, "    %-14s", a.name)
 			for _, size := range sizes {
-				t := times[a.name][size]
+				t := algTimes[ai][size]
 				best := true
-				for _, other := range algos {
-					if times[other.name][size] < t {
+				for _, other := range algTimes {
+					if other[size] < t {
 						best = false
 						break
 					}

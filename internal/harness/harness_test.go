@@ -63,7 +63,7 @@ func TestSweepCollectiveShape(t *testing.T) {
 	sys := LUMI()
 	counts := []int{16, 32}
 	sizes := []int64{32, 1 << 20}
-	res, err := sweepCollective(sys, coll.CAllreduce, counts, sizes)
+	res, err := sweepCollective(sys, coll.CAllreduce, counts, sizes, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestSweepLatencyVsBandwidthRegimes(t *testing.T) {
 	// few nodes ring wins (the paper's Fig. 10a shows exactly this
 	// crossover).
 	sys := LUMI()
-	res, err := sweepCollective(sys, coll.CAllreduce, []int{16}, []int64{32, 512 << 20})
+	res, err := sweepCollective(sys, coll.CAllreduce, []int{16}, []int64{32, 512 << 20}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"binetrees/internal/coll"
+	"binetrees/internal/core"
+	"binetrees/internal/pool"
+)
+
+// TestTraceCacheConcurrent hammers the flat and torus caches from many
+// workers (run under -race in CI): every key must record exactly one trace
+// and every caller must observe the same pointer.
+func TestTraceCacheConcurrent(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	algos := coll.ByCollective(coll.Registry(), coll.CAllreduce)
+	if len(algos) < 3 {
+		t.Fatalf("only %d allreduce algorithms", len(algos))
+	}
+	algos = algos[:3]
+	tor := core.MustTorus(2, 2, 2)
+	ta := torusAlgos()[0]
+	const lanes = 24
+	flat := make([][]*trPtr, lanes)
+	err := pool.ForEach(8, lanes, func(i int) error {
+		algo := algos[i%len(algos)]
+		tr, err := cachedTrace(algo, 16, 0)
+		if err != nil {
+			return err
+		}
+		ttr, n, err := cachedTorusTrace(ta, tor, 0)
+		if err != nil {
+			return err
+		}
+		if n <= 0 || len(ttr.Records) == 0 || len(tr.Records) == 0 {
+			return fmt.Errorf("lane %d: empty trace", i)
+		}
+		flat[i] = []*trPtr{{algo.Name, tr}, {ta.Name, ttr}}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]any{}
+	for _, lane := range flat {
+		for _, p := range lane {
+			if prev, ok := byName[p.name]; ok && prev != any(p.tr) {
+				t.Fatalf("%s: cache returned distinct traces", p.name)
+			}
+			byName[p.name] = p.tr
+		}
+	}
+}
+
+type trPtr struct {
+	name string
+	tr   any
+}
+
+// TestParallelSweepByteIdentical pins the tentpole guarantee: a sweep
+// dispatched on one worker and on eight workers renders byte-identical
+// artifacts. The chain covers every parallelized driver family:
+// HeatmapAllreduce (sweepCollective), PPN, Fig11b (torus + flat cells),
+// Hier and Fig5 — exercising the worker pools and both trace caches.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	sys := MareNostrum()
+	chain := func(sb *strings.Builder, opts Options) error {
+		if err := HeatmapAllreduce(sb, sys, opts); err != nil {
+			return err
+		}
+		if err := PPN(sb, opts); err != nil {
+			return err
+		}
+		if err := Fig11b(sb, opts); err != nil {
+			return err
+		}
+		if err := Hier(sb, opts); err != nil {
+			return err
+		}
+		return Fig5(sb, opts)
+	}
+	render := func(workers int) string {
+		ResetTraceCache()
+		var sb strings.Builder
+		if err := chain(&sb, Options{Quick: true, Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("parallel output diverges from serial:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+	// A warm cache must not change the rendering either.
+	var sb strings.Builder
+	if err := chain(&sb, Options{Quick: true, Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != serial {
+		t.Fatal("warm trace cache changed the artifact")
+	}
+	ResetTraceCache()
+}
+
+// TestTableBinomialByteIdentical covers the table artifacts (and, through
+// them, every collective's sweep) at both pool widths.
+func TestTableBinomialByteIdentical(t *testing.T) {
+	sys := MareNostrum()
+	render := func(workers int) string {
+		ResetTraceCache()
+		var sb strings.Builder
+		if err := TableBinomial(&sb, sys, Options{Quick: true, Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return sb.String()
+	}
+	if a, b := render(1), render(6); a != b {
+		t.Fatalf("table diverges:\n--- workers=1 ---\n%s\n--- workers=6 ---\n%s", a, b)
+	}
+	ResetTraceCache()
+}

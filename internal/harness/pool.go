@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"binetrees/internal/coll"
+	"binetrees/internal/core"
+	"binetrees/internal/fabric"
+)
+
+// The harness re-evaluates the same algorithm schedule across vector sizes,
+// placements and even systems: a trace depends only on (collective,
+// algorithm, rank count, root), and netsim's linear rescaling
+// (TestTraceScalingExact) makes one unit-granularity recording exact for
+// every vector size. The process-wide caches below record each schedule
+// exactly once, no matter how many sweep cells — possibly on concurrent
+// workers — ask for it.
+
+type traceKey struct {
+	coll coll.Collective
+	name string
+	p    int
+	root int
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *fabric.Trace
+	err  error
+}
+
+type torusTraceKey struct {
+	coll coll.Collective
+	name string
+	dims string
+	root int
+}
+
+type torusTraceEntry struct {
+	once sync.Once
+	tr   *fabric.Trace
+	n    int
+	err  error
+}
+
+var traceCache = struct {
+	mu    sync.Mutex
+	flat  map[traceKey]*traceEntry
+	torus map[torusTraceKey]*torusTraceEntry
+}{
+	flat:  map[traceKey]*traceEntry{},
+	torus: map[torusTraceKey]*torusTraceEntry{},
+}
+
+// ResetTraceCache drops every cached trace. Benchmarks call it between
+// iterations so each run records its schedules from scratch.
+func ResetTraceCache() {
+	traceCache.mu.Lock()
+	traceCache.flat = map[traceKey]*traceEntry{}
+	traceCache.torus = map[torusTraceKey]*torusTraceEntry{}
+	traceCache.mu.Unlock()
+}
+
+// cachedTrace returns the algorithm's unit-granularity trace, recording it
+// on first use. Concurrent callers asking for the same key block on a single
+// recording; distinct keys record independently.
+func cachedTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
+	key := traceKey{coll: algo.Coll, name: algo.Name, p: p, root: root}
+	traceCache.mu.Lock()
+	e, ok := traceCache.flat[key]
+	if !ok {
+		e = &traceEntry{}
+		traceCache.flat[key] = e
+	}
+	traceCache.mu.Unlock()
+	e.once.Do(func() { e.tr, e.err = recordTrace(algo, p, root) })
+	return e.tr, e.err
+}
+
+// cachedTorusTrace is cachedTrace for torus-geometry algorithms, which the
+// registry does not cover; the torus shape joins the key.
+func cachedTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, int, error) {
+	key := torusTraceKey{coll: ta.Coll, name: ta.Name, dims: fmt.Sprint(tor.Dims), root: root}
+	traceCache.mu.Lock()
+	e, ok := traceCache.torus[key]
+	if !ok {
+		e = &torusTraceEntry{}
+		traceCache.torus[key] = e
+	}
+	traceCache.mu.Unlock()
+	e.once.Do(func() { e.tr, e.n, e.err = recordTorusTrace(ta, tor, root) })
+	return e.tr, e.n, e.err
+}

@@ -6,6 +6,7 @@ import (
 
 	"binetrees/internal/coll"
 	"binetrees/internal/netsim"
+	"binetrees/internal/pool"
 )
 
 // PPN reproduces the Sec. 6.1 study: the same collectives with one vs four
@@ -22,6 +23,12 @@ func PPN(w io.Writer, opts Options) error {
 		return err
 	}
 	nodePlacement := placements[nodes]
+	// Every configuration shares the same 64-node placement, hence the same
+	// tapered topology shares.
+	topo, err := sys.TopologyFor(nodePlacement)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Sec. 6.1 — impact of processes per node (LUMI-like, 64 nodes):")
 	fmt.Fprintln(w, "Bine gain over the best binomial baseline for reduce-scatter and allreduce:")
 	fmt.Fprintf(w, "  %-20s", "")
@@ -29,19 +36,20 @@ func PPN(w io.Writer, opts Options) error {
 		fmt.Fprintf(w, " %10s", SizeLabel(size))
 	}
 	fmt.Fprintln(w)
-	for _, collective := range []coll.Collective{coll.CReduceScatter, coll.CAllreduce} {
+	// One job per (collective, ppn, algorithm): record (or fetch from the
+	// trace cache) the schedule at the job's rank count and score every
+	// size. The Bine candidate and the binomial baseline of each row are
+	// independent cells, dispatched onto the worker pool.
+	type ppnJob struct {
+		collective coll.Collective
+		ppn        int
+		name       string
+	}
+	registry := coll.Registry()
+	collectives := []coll.Collective{coll.CReduceScatter, coll.CAllreduce}
+	var jobs []ppnJob
+	for _, collective := range collectives {
 		for _, ppn := range []int{1, 4} {
-			p := nodes * ppn
-			placement := make([]int, p)
-			for r := range placement {
-				placement[r] = nodePlacement[r/ppn]
-			}
-			topo, err := sys.TopologyFor(nodePlacement)
-			if err != nil {
-				return err
-			}
-			// Evaluate the Bine candidate against the binomial baseline at
-			// this rank count on the shared node placement.
 			var bineName, baseName string
 			switch collective {
 			case coll.CReduceScatter:
@@ -49,39 +57,53 @@ func PPN(w io.Writer, opts Options) error {
 			default:
 				bineName, baseName = "bine-bw", "rabenseifner"
 			}
-			registry := coll.Registry()
-			gain := make([]float64, 0, len(sizes))
-			for _, size := range sizes {
-				times := map[string]float64{}
-				for _, name := range []string{bineName, baseName} {
-					algo, ok := coll.Find(registry, collective, name)
-					if !ok {
-						return fmt.Errorf("harness: %v/%s not registered", collective, name)
-					}
-					tr, err := recordTrace(algo, p, 0)
-					if err != nil {
-						return err
-					}
-					r, err := netsim.Evaluate(tr, topo, sys.Params, netsim.Eval{
-						Placement: placement,
-						ElemBytes: float64(size) / float64(p),
-						Reduces:   collective.Reduces(),
-						Overlap:   algo.Overlap,
-						CopyBytes: algo.CopyFactor * float64(size),
-					})
-					if err != nil {
-						return err
-					}
-					times[name] = r.Time
-				}
-				gain = append(gain, 100*(times[baseName]/times[bineName]-1))
+			for _, name := range []string{bineName, baseName} {
+				jobs = append(jobs, ppnJob{collective: collective, ppn: ppn, name: name})
 			}
-			fmt.Fprintf(w, "  %-15sppn=%d", collective, ppn)
-			for _, g := range gain {
-				fmt.Fprintf(w, " %9.0f%%", g)
-			}
-			fmt.Fprintln(w)
 		}
+	}
+	outs, err := pool.Collect(opts.Workers, len(jobs), func(i int) ([]float64, error) {
+		j := jobs[i]
+		p := nodes * j.ppn
+		placement := make([]int, p)
+		for r := range placement {
+			placement[r] = nodePlacement[r/j.ppn]
+		}
+		algo, ok := coll.Find(registry, j.collective, j.name)
+		if !ok {
+			return nil, fmt.Errorf("harness: %v/%s not registered", j.collective, j.name)
+		}
+		tr, err := cachedTrace(algo, p, 0)
+		if err != nil {
+			return nil, err
+		}
+		times := make([]float64, len(sizes))
+		for si, size := range sizes {
+			r, err := netsim.Evaluate(tr, topo, sys.Params, netsim.Eval{
+				Placement: placement,
+				ElemBytes: float64(size) / float64(p),
+				Reduces:   j.collective.Reduces(),
+				Overlap:   algo.Overlap,
+				CopyBytes: algo.CopyFactor * float64(size),
+			})
+			if err != nil {
+				return nil, err
+			}
+			times[si] = r.Time
+		}
+		return times, nil
+	})
+	if err != nil {
+		return err
+	}
+	for row := 0; row < len(jobs)/2; row++ {
+		bine, base := outs[2*row], outs[2*row+1]
+		j := jobs[2*row]
+		fmt.Fprintf(w, "  %-15sppn=%d", j.collective, j.ppn)
+		for si := range sizes {
+			fmt.Fprintf(w, " %9.0f%%", 100*(base[si]/bine[si]-1))
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w, "  paper: gains grow with processes per node (59% → 84% for the 1 MiB reduce-scatter)")
 	return nil

@@ -7,6 +7,7 @@ import (
 	"binetrees/internal/core"
 	"binetrees/internal/fabric"
 	"binetrees/internal/netsim"
+	"binetrees/internal/pool"
 	"binetrees/internal/topology"
 )
 
@@ -15,6 +16,10 @@ type Options struct {
 	// Quick trims node counts and vector sizes so the full suite runs in
 	// seconds (used by tests and the default CLI mode).
 	Quick bool
+	// Workers bounds the sweep engine's worker pool; <= 0 selects
+	// pool.DefaultWorkers (one per CPU). Every artifact is byte-identical
+	// regardless of the setting.
+	Workers int
 }
 
 func (o Options) nodeCounts(sys System) []int {
@@ -97,7 +102,12 @@ func recordTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
 
 // sweepCollective evaluates every applicable algorithm of one collective
 // over the node counts and sizes on the system's fragmented placements.
-func sweepCollective(sys System, collective coll.Collective, counts []int, sizes []int64) (*sweepResult, error) {
+// Independent (node count, algorithm) cells are dispatched onto a worker
+// pool of the given width; each job writes into its own slot of an
+// index-addressed slice and the slots are merged in deterministic order, so
+// the result — and every artifact rendered from it — is byte-identical to
+// the serial evaluation.
+func sweepCollective(sys System, collective coll.Collective, counts []int, sizes []int64, workers int) (*sweepResult, error) {
 	placements, err := Placements(sys, counts)
 	if err != nil {
 		return nil, err
@@ -112,33 +122,58 @@ func sweepCollective(sys System, collective coll.Collective, counts []int, sizes
 	for _, algo := range algos {
 		res.Cells[algo.Name] = map[cellKey]cell{}
 	}
+	// The topology share depends only on the placement; build each count's
+	// model once, up front, and let the jobs share it read-only.
+	topos := make(map[int]topology.Topology, len(counts))
 	for _, p := range counts {
 		topo, err := sys.TopologyFor(placements[p])
 		if err != nil {
 			return nil, err
 		}
+		topos[p] = topo
+	}
+	type job struct {
+		p    int
+		algo coll.Algorithm
+	}
+	var jobs []job
+	for _, p := range counts {
 		for _, algo := range algos {
 			if quadratic(algo.Name) && p > blockTraceCap {
 				continue
 			}
-			tr, err := recordTrace(algo, p, 0)
+			jobs = append(jobs, job{p: p, algo: algo})
+		}
+	}
+	outs, err := pool.Collect(workers, len(jobs), func(i int) ([]cell, error) {
+		j := jobs[i]
+		tr, err := cachedTrace(j.algo, j.p, 0)
+		if err != nil {
+			return nil, err
+		}
+		cells := make([]cell, len(sizes))
+		for si, size := range sizes {
+			ev := netsim.Eval{
+				Placement: placements[j.p],
+				ElemBytes: float64(size) / float64(j.p),
+				Reduces:   collective.Reduces(),
+				Overlap:   j.algo.Overlap,
+				CopyBytes: j.algo.CopyFactor * float64(size),
+			}
+			r, err := netsim.Evaluate(tr, topos[j.p], sys.Params, ev)
 			if err != nil {
 				return nil, err
 			}
-			for _, size := range sizes {
-				ev := netsim.Eval{
-					Placement: placements[p],
-					ElemBytes: float64(size) / float64(p),
-					Reduces:   collective.Reduces(),
-					Overlap:   algo.Overlap,
-					CopyBytes: algo.CopyFactor * float64(size),
-				}
-				r, err := netsim.Evaluate(tr, topo, sys.Params, ev)
-				if err != nil {
-					return nil, err
-				}
-				res.Cells[algo.Name][cellKey{P: p, Size: size}] = cell{Time: r.Time, Global: r.GlobalBytes}
-			}
+			cells[si] = cell{Time: r.Time, Global: r.GlobalBytes}
+		}
+		return cells, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		for si, size := range sizes {
+			res.Cells[j.algo.Name][cellKey{P: j.p, Size: size}] = outs[i][si]
 		}
 	}
 	return res, nil

@@ -1,0 +1,90 @@
+// Package pool is the bounded worker pool shared by the experiment harness
+// and the CLIs: index-addressed fan-out with deterministic error selection.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the pool width used when the caller passes workers <= 0:
+// one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 selects DefaultWorkers). Indices are dispatched in
+// ascending order and a claimed index always runs to completion; after a
+// failure no further indices are claimed. Because every failure observed
+// at claim time comes from a lower index, the lowest failing index always
+// runs, and its error is returned — the same error a serial loop would
+// stop on. With workers == 1 the indices run strictly in order on the
+// calling goroutine.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next, failed int64
+	next = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				// The failure check precedes the claim: once an index is
+				// claimed it runs unconditionally, so a flag raised by a
+				// (necessarily lower) index can only stop higher ones.
+				if atomic.LoadInt64(&failed) != 0 {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					atomic.StoreInt64(&failed, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect is ForEach with a result slot per index: fn(i)'s value lands in
+// slot i of the returned slice, giving callers an index-addressed result
+// set that a serial pass can merge in deterministic order.
+func Collect[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	outs := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		outs[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}

@@ -1,0 +1,117 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 57
+		var hits [n]int32
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 10, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: got %v, want the lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachStopsDispatchingAfterFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var ran [10]bool
+	err := ForEach(1, 10, func(i int) error {
+		ran[i] = true
+		if i == 4 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("got %v", err)
+	}
+	for i, r := range ran {
+		if want := i <= 4; r != want {
+			t.Fatalf("index %d ran=%v, want %v", i, r, want)
+		}
+	}
+}
+
+// TestForEachClaimedIndicesAlwaysRun pins the determinism argument: an
+// index claimed before a failure must run even if a higher index fails
+// while it is in flight, so the lowest failing index always records its
+// error. Index 0 blocks until index 9 has failed, then fails itself; the
+// returned error must be index 0's.
+func TestForEachClaimedIndicesAlwaysRun(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	highFailed := make(chan struct{})
+	err := ForEach(4, 10, func(i int) error {
+		switch i {
+		case 0:
+			<-highFailed
+			return errLow
+		case 9:
+			defer close(highFailed)
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("got %v, want the in-flight lower index's error", err)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		outs, err := Collect(workers, 20, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range outs {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+	boom := errors.New("boom")
+	if _, err := Collect(4, 20, func(i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	}); err != boom {
+		t.Fatalf("got %v", err)
+	}
+}
