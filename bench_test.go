@@ -3,6 +3,7 @@ package binetrees
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"testing"
 
@@ -10,6 +11,8 @@ import (
 	"binetrees/internal/core"
 	"binetrees/internal/fabric"
 	"binetrees/internal/harness"
+	"binetrees/internal/netsim"
+	"binetrees/internal/topology"
 )
 
 // Execution microbenchmarks: real collective executions on the in-process
@@ -233,6 +236,126 @@ func BenchmarkSweepParallel(b *testing.B) {
 		})
 	}
 	harness.ResetTraceCache()
+}
+
+// BenchmarkSweepStore tracks the persistent trace store: the same quick
+// allreduce sweep (heatmap artifact) with no store, a cold store (records
+// and writes through every schedule) and a warm store (loads every schedule
+// from disk, zero recordings). The in-process cache is dropped every
+// iteration so the store tier is what's measured.
+func BenchmarkSweepStore(b *testing.B) {
+	sweep := func(b *testing.B) {
+		if err := harness.HeatmapAllreduce(io.Discard, harness.LUMI(), harness.Options{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	restore := func(b *testing.B) {
+		if err := harness.SetTraceStore(""); err != nil {
+			b.Fatal(err)
+		}
+		harness.ResetTraceCache()
+	}
+	b.Run("no-store", func(b *testing.B) {
+		defer restore(b)
+		for i := 0; i < b.N; i++ {
+			harness.ResetTraceCache()
+			sweep(b)
+		}
+	})
+	b.Run("cold-store", func(b *testing.B) {
+		defer restore(b)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "tracestore-bench-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			harness.ResetTraceCache()
+			b.StartTimer()
+			if err := harness.SetTraceStore(dir); err != nil {
+				b.Fatal(err)
+			}
+			sweep(b)
+			b.StopTimer()
+			os.RemoveAll(dir)
+			b.StartTimer()
+		}
+	})
+	b.Run("warm-store", func(b *testing.B) {
+		defer restore(b)
+		dir := b.TempDir()
+		if err := harness.SetTraceStore(dir); err != nil {
+			b.Fatal(err)
+		}
+		harness.ResetTraceCache()
+		sweep(b) // populate
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			harness.ResetTraceCache()
+			sweep(b)
+		}
+	})
+}
+
+// BenchmarkEvaluateSizes compares per-size trace replay against the batched
+// evaluator over the paper's nine-size ladder: EvaluateSizes replays the
+// topology once and derives each size arithmetically, returning bit-identical
+// Results.
+func BenchmarkEvaluateSizes(b *testing.B) {
+	const p = 256
+	a, ok := coll.Find(coll.Registry(), coll.CAllreduce, "bine-bw")
+	if !ok {
+		b.Fatal("bine-bw not registered")
+	}
+	run, err := a.Make(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := fabric.NewRecorder(fabric.NewMem(p))
+	err = fabric.Run(rec, func(c fabric.Comm) error {
+		return run(c, 0, make([]int32, p), nil, coll.OpSum)
+	})
+	rec.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := rec.Trace()
+	topo, err := topology.NewUpDown(topology.UpDownConfig{
+		Name: "bench", Groups: 8, NodesPerGroup: p / 8, NICBW: 25e9, Oversub: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	placement := make([]int, p)
+	for i := range placement {
+		placement[i] = i
+	}
+	sizes := harness.VectorSizes()
+	elemBytes := make([]float64, len(sizes))
+	for si, size := range sizes {
+		elemBytes[si] = float64(size) / float64(p)
+	}
+	params := harness.LUMI().Params
+	b.Run("per-size-evaluate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, eb := range elemBytes {
+				if _, err := netsim.Evaluate(tr, topo, params, netsim.Eval{
+					Placement: placement, ElemBytes: eb, Reduces: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("evaluate-sizes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := netsim.EvaluateSizes(tr, topo, params, netsim.Eval{
+				Placement: placement, Reduces: true,
+			}, elemBytes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPublicAPI measures the façade overhead end to end.

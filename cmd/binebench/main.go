@@ -4,15 +4,22 @@
 // repository root maps every experiment name to its paper artifact.
 //
 // Sweep cells are evaluated on a worker pool (one worker per CPU by
-// default; -workers overrides) with a process-wide trace cache, so -full
-// runs scale with the hardware while producing byte-identical artifacts at
-// any pool width.
+// default; -workers overrides) with a process-wide trace cache: every
+// schedule is recorded once and one structural replay per (trace,
+// placement) scores all vector sizes, so -full runs scale with the hardware
+// while producing byte-identical artifacts at any pool width. With
+// -trace-cache the recordings also persist to a content-addressed on-disk
+// store shared across runs — a warm store makes repeated -full runs and CI
+// sweeps skip every recording (identical output, pinned by tests). -v
+// prints the cache counters (memory/disk hits, recordings, evictions) to
+// stderr so warm and cold runs are observable.
 //
 // Usage:
 //
-//	binebench -experiment all           # everything, quick sweep
-//	binebench -experiment table3 -full  # one artifact at full paper scale
+//	binebench -experiment all                     # everything, quick sweep
+//	binebench -experiment table3 -full            # one artifact at full paper scale
 //	binebench -experiment all -workers 1
+//	binebench -experiment all -trace-cache ~/.cache/binetrees -v
 //
 // Experiments: fig1, eq2, fig5, table3, fig9a, fig9b, table4, fig10a,
 // fig10b, table5, fig11a, fig11b, fig14, hier, ppn, appD, all.
@@ -31,9 +38,19 @@ func main() {
 	experiment := flag.String("experiment", "all", "which paper artifact to regenerate")
 	full := flag.Bool("full", false, "run the full paper-scale sweep (slower) instead of the quick one")
 	workers := flag.Int("workers", 0, "sweep worker pool width (0 = one per CPU)")
+	traceCache := flag.String("trace-cache", "", "directory of the persistent trace store (empty = in-process cache only)")
+	verbose := flag.Bool("v", false, "print trace-cache statistics to stderr after the run")
 	flag.Parse()
+	if err := harness.SetTraceStore(*traceCache); err != nil {
+		fmt.Fprintln(os.Stderr, "binebench:", err)
+		os.Exit(1)
+	}
 	opts := harness.Options{Quick: !*full, Workers: *workers}
-	if err := run(os.Stdout, *experiment, opts); err != nil {
+	err := run(os.Stdout, *experiment, opts)
+	if *verbose {
+		fmt.Fprintln(os.Stderr, harness.TraceCacheStats())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "binebench:", err)
 		os.Exit(1)
 	}

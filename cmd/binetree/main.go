@@ -4,9 +4,19 @@
 // butterflies) the block send sets — a debugging lens onto Sections 2 and 3
 // of the paper.
 //
-// -p accepts a comma-separated list of rank counts; the schedules are
-// constructed and rendered on a worker pool (-workers bounds it, 0 = one
-// per CPU) and printed in the order given.
+// Flags:
+//
+//	-p         comma-separated rank counts; schedules are constructed and
+//	           rendered on a worker pool and printed in the order given
+//	-kind      tree kind: bine-dh, bine-dd, binomial-dd, binomial-dh
+//	-butterfly print a butterfly instead of a tree: bine-dh, bine-dd,
+//	           binomial-dh, binomial-dd, swing
+//	-root      tree root rank
+//	-workers   worker pool width (0 = one per CPU)
+//	-trace-cache  directory of the persistent trace store shared with
+//	           binebench (schedule printing records no traces, so this only
+//	           selects the store the stats report on)
+//	-v         print trace-cache statistics to stderr after the run
 //
 // Usage:
 //
@@ -24,6 +34,7 @@ import (
 	"strings"
 
 	"binetrees/internal/core"
+	"binetrees/internal/harness"
 	"binetrees/internal/pool"
 )
 
@@ -33,8 +44,18 @@ func main() {
 	bfly := flag.String("butterfly", "", "instead of a tree, print a butterfly: bine-dh, bine-dd, binomial-dh, binomial-dd, swing")
 	root := flag.Int("root", 0, "tree root")
 	workers := flag.Int("workers", 0, "worker pool width for multiple rank counts (0 = one per CPU)")
+	traceCache := flag.String("trace-cache", "", "directory of the persistent trace store (shared with binebench)")
+	verbose := flag.Bool("v", false, "print trace-cache statistics to stderr after the run")
 	flag.Parse()
-	if err := runAll(os.Stdout, *ps, *kind, *bfly, *root, *workers); err != nil {
+	if err := harness.SetTraceStore(*traceCache); err != nil {
+		fmt.Fprintln(os.Stderr, "binetree:", err)
+		os.Exit(1)
+	}
+	err := runAll(os.Stdout, *ps, *kind, *bfly, *root, *workers)
+	if *verbose {
+		fmt.Fprintln(os.Stderr, harness.TraceCacheStats())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "binetree:", err)
 		os.Exit(1)
 	}

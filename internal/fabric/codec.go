@@ -1,0 +1,139 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Binary trace codec: the on-disk format of internal/tracestore. The format
+// is compact (delta-zigzag varints exploit the sorted (step, from, to, sub)
+// order Recorder.Trace produces), versioned (CodecVersion joins the store's
+// content address, so a format change can never misparse old files as new
+// ones) and self-checking (a CRC over the payload turns torn or corrupted
+// writes into decode errors instead of silently wrong traces).
+
+// CodecVersion identifies the trace wire format. Bump it on any encoding
+// change; the trace store folds it into every content address, so files
+// written by older codecs are simply never found again.
+const CodecVersion = 1
+
+// traceMagic opens every encoded trace.
+var traceMagic = [4]byte{'B', 'T', 'R', 'C'}
+
+// EncodeTrace writes tr in the versioned binary format.
+func EncodeTrace(w io.Writer, tr *Trace) error {
+	buf := make([]byte, 0, 16+10*len(tr.Records))
+	buf = binary.AppendUvarint(buf, CodecVersion)
+	buf = binary.AppendUvarint(buf, uint64(tr.P))
+	buf = binary.AppendUvarint(buf, uint64(len(tr.Records)))
+	var prev Record
+	for _, r := range tr.Records {
+		buf = binary.AppendVarint(buf, int64(r.Step-prev.Step))
+		buf = binary.AppendVarint(buf, int64(r.From-prev.From))
+		buf = binary.AppendVarint(buf, int64(r.To-prev.To))
+		buf = binary.AppendUvarint(buf, uint64(r.Sub))
+		buf = binary.AppendUvarint(buf, uint64(r.Elems))
+		prev = r
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(buf))
+	for _, chunk := range [][]byte{traceMagic[:], buf, sum[:]} {
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeTrace parses a trace encoded by EncodeTrace, rejecting wrong magic,
+// unknown versions, checksum mismatches, truncation and out-of-range fields.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: reading trace: %w", err)
+	}
+	if len(raw) < len(traceMagic)+4 || string(raw[:4]) != string(traceMagic[:]) {
+		return nil, fmt.Errorf("fabric: not an encoded trace")
+	}
+	payload, sum := raw[4:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(sum) {
+		return nil, fmt.Errorf("fabric: trace checksum mismatch")
+	}
+	d := varintReader{buf: payload}
+	version := d.uvarint()
+	if version != CodecVersion {
+		return nil, fmt.Errorf("fabric: trace codec version %d, want %d", version, CodecVersion)
+	}
+	p := d.uvarint()
+	count := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if p == 0 || p > 1<<24 {
+		return nil, fmt.Errorf("fabric: trace rank count %d out of range", p)
+	}
+	if count > uint64(len(payload))/5 { // every record costs ≥ 5 payload bytes (5 varints)
+		return nil, fmt.Errorf("fabric: trace record count %d exceeds payload", count)
+	}
+	tr := &Trace{P: int(p)}
+	if count > 0 {
+		tr.Records = make([]Record, count)
+	}
+	var prev Record
+	for i := range tr.Records {
+		rec := Record{
+			Step:  prev.Step + int(d.varint()),
+			From:  prev.From + int(d.varint()),
+			To:    prev.To + int(d.varint()),
+			Sub:   int(d.uvarint()),
+			Elems: int(d.uvarint()),
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		if rec.Step < 0 || rec.Sub < 0 || rec.Elems < 0 ||
+			rec.From < 0 || rec.From >= tr.P || rec.To < 0 || rec.To >= tr.P {
+			return nil, fmt.Errorf("fabric: trace record %d out of range: %+v", i, rec)
+		}
+		tr.Records[i] = rec
+		prev = rec
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("fabric: %d trailing bytes after trace", len(d.buf))
+	}
+	return tr, nil
+}
+
+// varintReader consumes varints from a byte slice, latching the first error.
+type varintReader struct {
+	buf []byte
+	err error
+}
+
+func (d *varintReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("fabric: truncated trace varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *varintReader) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("fabric: truncated trace varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}

@@ -1,0 +1,155 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomTrace builds a trace with the value ranges real recordings produce,
+// in the sorted order Recorder.Trace emits.
+func randomTrace(rng *rand.Rand) *Trace {
+	p := 1 + rng.Intn(64)
+	count := rng.Intn(200)
+	tr := &Trace{P: p}
+	step, from := 0, 0
+	for i := 0; i < count; i++ {
+		if rng.Intn(3) == 0 {
+			step += rng.Intn(3)
+			from = 0
+		}
+		from += rng.Intn(2)
+		if from >= p {
+			from = p - 1
+		}
+		tr.Records = append(tr.Records, Record{
+			From:  from,
+			To:    rng.Intn(p),
+			Step:  step,
+			Sub:   rng.Intn(4),
+			Elems: rng.Intn(1 << 20),
+		})
+	}
+	return tr
+}
+
+func TestTraceCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		tr := randomTrace(rng)
+		var buf bytes.Buffer
+		if err := EncodeTrace(&buf, tr); err != nil {
+			t.Fatalf("trace %d: encode: %v", i, err)
+		}
+		got, err := DecodeTrace(&buf)
+		if err != nil {
+			t.Fatalf("trace %d: decode: %v", i, err)
+		}
+		if got.P != tr.P || len(got.Records) != len(tr.Records) {
+			t.Fatalf("trace %d: shape %d/%d, want %d/%d", i, got.P, len(got.Records), tr.P, len(tr.Records))
+		}
+		if len(tr.Records) > 0 && !reflect.DeepEqual(got.Records, tr.Records) {
+			t.Fatalf("trace %d: records differ", i)
+		}
+	}
+}
+
+func TestTraceCodecRoundTripRecorded(t *testing.T) {
+	// A real recording (not just synthetic records) must survive exactly:
+	// the store's correctness rests on a loaded trace being byte-for-byte
+	// the recorded one.
+	f := NewMem(8)
+	rec := NewRecorder(f)
+	defer rec.Close()
+	err := Run(rec, func(c Comm) error {
+		if c.Rank() == 0 {
+			for to := 1; to < c.Size(); to++ {
+				if err := c.Send(to, to-1, 0, make([]int32, to)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return c.Recv(0, c.Rank()-1, 0, make([]int32, c.Rank()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace()
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("decoded trace differs:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+// TestTraceCodecGolden pins the on-disk byte format: any codec change must
+// show up here and force a CodecVersion bump (which re-addresses every
+// stored file) rather than silently reinterpreting old files.
+func TestTraceCodecGolden(t *testing.T) {
+	tr := &Trace{P: 4, Records: []Record{
+		{From: 0, To: 1, Step: 0, Sub: 0, Elems: 2},
+		{From: 0, To: 2, Step: 1, Sub: 0, Elems: 300},
+		{From: 1, To: 3, Step: 1, Sub: 1, Elems: 300},
+		{From: 2, To: 0, Step: 2, Sub: 0, Elems: 1},
+	}}
+	const golden = "42545243010404000002000202000200ac0200020201ac020202050001305d4479"
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(buf.Bytes()); got != golden {
+		t.Fatalf("encoding changed (bump CodecVersion!):\n got %s\nwant %s", got, golden)
+	}
+	got, err := DecodeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("golden decode differs: %+v", got)
+	}
+}
+
+func TestTraceCodecRejectsDamage(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(7)))
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Every truncation must fail cleanly.
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeTrace(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", cut, len(raw))
+		}
+	}
+	// Every single-byte corruption must fail cleanly (the magic check or
+	// the CRC catches it).
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x5a
+		if _, err := DecodeTrace(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corrupted byte %d accepted", i)
+		}
+	}
+	// An unknown version must be rejected even with a valid checksum.
+	payload := []byte{CodecVersion + 1, 1, 0} // version, P=1, no records
+	future := append([]byte(nil), traceMagic[:]...)
+	future = append(future, payload...)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	future = append(future, sum[:]...)
+	if _, err := DecodeTrace(bytes.NewReader(future)); err == nil {
+		t.Fatal("future codec version accepted")
+	}
+}

@@ -21,7 +21,7 @@ import (
 // nodes per leaf, for the distance-doubling (Open MPI), distance-halving
 // (MPICH) and Bine trees.
 func Fig1(w io.Writer) error {
-	const n = 1 // unit vector; results are per n bytes
+	const p, n = 8, 1 // eight nodes, unit vector; results are per n bytes
 	groupOf := []int{0, 0, 1, 1, 2, 2, 3, 3}
 	fmt.Fprintln(w, "Fig. 1 — broadcast over 8 nodes, 2 nodes per leaf switch (bytes on global links, per n bytes of vector):")
 	for _, k := range []core.Kind{core.BinomialDD, core.BinomialDH, core.BineDH} {
@@ -30,19 +30,24 @@ func Fig1(w io.Writer) error {
 			core.BinomialDH: "distance-halving binomial (MPICH)",
 			core.BineDH:     "distance-halving Bine",
 		}[k]
-		tree, err := core.NewTree(k, 8, 0)
+		tree, err := core.NewTree(k, p, 0)
 		if err != nil {
 			return err
 		}
-		rec := fabric.NewRecorder(fabric.NewMem(8))
-		err = fabric.Run(rec, func(c fabric.Comm) error {
-			return coll.Bcast(c, tree, make([]int32, n))
+		tr, err := cachedNamedTrace("tree-bcast", k.String(), fmt.Sprintf("p=%d/n=%d", p, n), func() (*fabric.Trace, error) {
+			rec := fabric.NewRecorder(fabric.NewMem(p))
+			defer rec.Close()
+			if err := fabric.Run(rec, func(c fabric.Comm) error {
+				return coll.Bcast(c, tree, make([]int32, n))
+			}); err != nil {
+				return nil, err
+			}
+			return rec.Trace(), nil
 		})
-		rec.Close()
 		if err != nil {
 			return err
 		}
-		global, total := netsim.GlobalTraffic(rec.Trace(), groupOf)
+		global, total := netsim.GlobalTraffic(tr, groupOf)
 		fmt.Fprintf(w, "  %-42s %dn global of %dn total\n", algoName, global, total)
 	}
 	fmt.Fprintln(w, "  paper: 6n (distance doubling) vs 3n (distance halving)")
@@ -89,19 +94,20 @@ func Fig5(w io.Writer, opts Options) error {
 	}
 	traces := map[int][2]*fabric.Trace{} // p → {bine, binomial}
 	allreduceTrace := func(kind core.ButterflyKind, p int) (*fabric.Trace, error) {
-		b, err := core.NewButterfly(kind, p)
-		if err != nil {
-			return nil, err
-		}
-		rec := fabric.NewRecorder(fabric.NewMem(p))
-		defer rec.Close()
-		err = fabric.Run(rec, func(c fabric.Comm) error {
-			return coll.AllreduceRsAg(c, b, make([]int32, p), coll.OpSum)
+		return cachedNamedTrace("bfly-allreduce", kind.String(), fmt.Sprintf("p=%d/n=%d", p, p), func() (*fabric.Trace, error) {
+			b, err := core.NewButterfly(kind, p)
+			if err != nil {
+				return nil, err
+			}
+			rec := fabric.NewRecorder(fabric.NewMem(p))
+			defer rec.Close()
+			if err := fabric.Run(rec, func(c fabric.Comm) error {
+				return coll.AllreduceRsAg(c, b, make([]int32, p), coll.OpSum)
+			}); err != nil {
+				return nil, err
+			}
+			return rec.Trace(), nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		return rec.Trace(), nil
 	}
 	fmt.Fprintln(w, "Fig. 5 — global-traffic reduction of Bine vs binomial allreduce across synthetic Slurm-like allocations")
 	fmt.Fprintln(w, "(boxplots per job size; theoretical bound 33%, Eq. 2):")
@@ -454,13 +460,13 @@ func Fig11b(w io.Writer, opts Options) error {
 			if err != nil {
 				return nil, err
 			}
+			rs, err := evaluateOnTorusSizes(tr, n, topo, sizes, reduces, j.torus.Overlap)
+			if err != nil {
+				return nil, err
+			}
 			out := make(map[int64]float64, len(sizes))
-			for _, size := range sizes {
-				c, err := evaluateOnTorus(tr, n, topo, size, reduces, j.torus.Overlap)
-				if err != nil {
-					return nil, err
-				}
-				out[size] = c.Time
+			for si, size := range sizes {
+				out[size] = rs[si].Time
 			}
 			return out, nil
 		}
@@ -481,19 +487,24 @@ func Fig11b(w io.Writer, opts Options) error {
 		for r := range placement {
 			placement[r] = r
 		}
+		elemBytes := make([]float64, len(sizes))
+		copyBytes := make([]float64, len(sizes))
+		for si, size := range sizes {
+			elemBytes[si] = float64(size) / float64(tor.P())
+			copyBytes[si] = algo.CopyFactor * float64(size)
+		}
+		rs, err := netsim.EvaluateSizes(tr, topo, FugakuParams(), netsim.Eval{
+			Placement:   placement,
+			Reduces:     reduces,
+			Overlap:     algo.Overlap,
+			CopyBytesAt: copyBytes,
+		}, elemBytes)
+		if err != nil {
+			return nil, err
+		}
 		out := make(map[int64]float64, len(sizes))
-		for _, size := range sizes {
-			r, err := netsim.Evaluate(tr, topo, FugakuParams(), netsim.Eval{
-				Placement: placement,
-				ElemBytes: float64(size) / float64(tor.P()),
-				Reduces:   reduces,
-				Overlap:   algo.Overlap,
-				CopyBytes: algo.CopyFactor * float64(size),
-			})
-			if err != nil {
-				return nil, err
-			}
-			out[size] = r.Time
+		for si, size := range sizes {
+			out[size] = rs[si].Time
 		}
 		return out, nil
 	})
@@ -610,32 +621,39 @@ func Hier(w io.Writer, opts Options) error {
 		ci, ai := i/algosPerCount, i%algosPerCount
 		p := counts[ci]
 		a := setups[ci].algos[ai]
-		rec := fabric.NewRecorder(fabric.NewMem(p))
 		n := p * gpusPerNode
-		err := fabric.Run(rec, func(c fabric.Comm) error {
-			return a.run(c, make([]int32, n))
+		tr, err := cachedNamedTrace("hier-allreduce", a.name, fmt.Sprintf("p=%d/n=%d", p, n), func() (*fabric.Trace, error) {
+			rec := fabric.NewRecorder(fabric.NewMem(p))
+			defer rec.Close()
+			if err := fabric.Run(rec, func(c fabric.Comm) error {
+				return a.run(c, make([]int32, n))
+			}); err != nil {
+				return nil, err
+			}
+			return rec.Trace(), nil
 		})
-		rec.Close()
 		if err != nil {
 			return nil, err
 		}
-		tr := rec.Trace()
 		placement := make([]int, p)
 		for r := range placement {
 			placement[r] = r
 		}
+		elemBytes := make([]float64, len(sizes))
+		for si, size := range sizes {
+			elemBytes[si] = float64(size) / float64(n)
+		}
+		rs, err := netsim.EvaluateSizes(tr, setups[ci].topo, params, netsim.Eval{
+			Placement: placement,
+			Reduces:   true,
+			Overlap:   0.3,
+		}, elemBytes)
+		if err != nil {
+			return nil, err
+		}
 		out := make(map[int64]float64, len(sizes))
-		for _, size := range sizes {
-			r, err := netsim.Evaluate(tr, setups[ci].topo, params, netsim.Eval{
-				Placement: placement,
-				ElemBytes: float64(size) / float64(n),
-				Reduces:   true,
-				Overlap:   0.3,
-			})
-			if err != nil {
-				return nil, err
-			}
-			out[size] = r.Time
+		for si, size := range sizes {
+			out[size] = rs[si].Time
 		}
 		return out, nil
 	})
@@ -691,23 +709,35 @@ func AppD(w io.Writer) error {
 		}
 		return total
 	}
-	flatTree := core.MustTree(core.BineDH, 16, 0)
-	rec := fabric.NewRecorder(fabric.NewMem(16))
-	if err := fabric.Run(rec, func(c fabric.Comm) error {
-		return coll.Bcast(c, flatTree, make([]int32, 1))
-	}); err != nil {
+	flatTree := core.MustTree(core.BineDH, tor.P(), 0)
+	flatTr, err := cachedNamedTrace("tree-bcast", core.BineDH.String(), fmt.Sprintf("p=%d/n=1", tor.P()), func() (*fabric.Trace, error) {
+		rec := fabric.NewRecorder(fabric.NewMem(tor.P()))
+		defer rec.Close()
+		if err := fabric.Run(rec, func(c fabric.Comm) error {
+			return coll.Bcast(c, flatTree, make([]int32, 1))
+		}); err != nil {
+			return nil, err
+		}
+		return rec.Trace(), nil
+	})
+	if err != nil {
 		return err
 	}
-	rec.Close()
-	fmt.Fprintf(w, "  flat 1-D Bine tree:        %d hops\n", hops(rec.Trace()))
-	rec = fabric.NewRecorder(fabric.NewMem(16))
-	if err := fabric.Run(rec, func(c fabric.Comm) error {
-		return coll.TorusBcast(c, tor, core.BineDH, 0, make([]int32, 1))
-	}); err != nil {
+	fmt.Fprintf(w, "  flat 1-D Bine tree:        %d hops\n", hops(flatTr))
+	torusTr, err := cachedNamedTrace("torus-bcast", core.BineDH.String(), fmt.Sprintf("%v/n=1", tor.Dims), func() (*fabric.Trace, error) {
+		rec := fabric.NewRecorder(fabric.NewMem(tor.P()))
+		defer rec.Close()
+		if err := fabric.Run(rec, func(c fabric.Comm) error {
+			return coll.TorusBcast(c, tor, core.BineDH, 0, make([]int32, 1))
+		}); err != nil {
+			return nil, err
+		}
+		return rec.Trace(), nil
+	})
+	if err != nil {
 		return err
 	}
-	rec.Close()
-	fmt.Fprintf(w, "  torus-optimized Bine tree: %d hops\n", hops(rec.Trace()))
+	fmt.Fprintf(w, "  torus-optimized Bine tree: %d hops\n", hops(torusTr))
 	perm, _, err := tor.DFSPostorder()
 	if err != nil {
 		return err

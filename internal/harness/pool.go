@@ -2,27 +2,34 @@ package harness
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"binetrees/internal/coll"
 	"binetrees/internal/core"
 	"binetrees/internal/fabric"
+	"binetrees/internal/tracestore"
 )
 
 // The harness re-evaluates the same algorithm schedule across vector sizes,
-// placements and even systems: a trace depends only on (collective,
-// algorithm, rank count, root), and netsim's linear rescaling
-// (TestTraceScalingExact) makes one unit-granularity recording exact for
-// every vector size. The process-wide caches below record each schedule
-// exactly once, no matter how many sweep cells — possibly on concurrent
-// workers — ask for it.
+// placements and even systems: a trace depends only on its schedule identity
+// — (collective, algorithm, rank count, root), plus geometry for torus
+// schedules — and netsim's linear rescaling (TestTraceScalingExact) makes
+// one unit-granularity recording exact for every vector size. The cache
+// below has two tiers. The in-process tier records each schedule exactly
+// once per process, no matter how many sweep cells — possibly on concurrent
+// workers — ask for it. The optional disk tier (SetTraceStore) persists
+// recordings across processes under content addresses, so repeated -full
+// runs and CI sweeps load every schedule instead of re-executing it; a
+// loaded trace is byte-for-byte the recorded one, so artifacts are identical
+// at any cache state.
 
-type traceKey struct {
-	coll coll.Collective
-	name string
-	p    int
-	root int
-}
+// schedVersion tags the generation of every schedule construction that
+// feeds the trace caches. It joins each disk content address, so bumping it
+// — required whenever any algorithm's schedule changes — cleanly orphans
+// every previously stored trace instead of wrongly reusing it.
+const schedVersion = 1
 
 type traceEntry struct {
 	once sync.Once
@@ -30,65 +37,163 @@ type traceEntry struct {
 	err  error
 }
 
-type torusTraceKey struct {
-	coll coll.Collective
-	name string
-	dims string
-	root int
-}
-
-type torusTraceEntry struct {
-	once sync.Once
-	tr   *fabric.Trace
-	n    int
-	err  error
-}
-
 var traceCache = struct {
-	mu    sync.Mutex
-	flat  map[traceKey]*traceEntry
-	torus map[torusTraceKey]*torusTraceEntry
-}{
-	flat:  map[traceKey]*traceEntry{},
-	torus: map[torusTraceKey]*torusTraceEntry{},
+	mu sync.Mutex
+	m  map[tracestore.Key]*traceEntry
+}{m: map[tracestore.Key]*traceEntry{}}
+
+// store is the optional disk tier; nil disables it.
+var store atomic.Pointer[tracestore.Store]
+
+var cacheCounters struct {
+	memHits atomic.Uint64
+	records atomic.Uint64
 }
 
-// ResetTraceCache drops every cached trace. Benchmarks call it between
-// iterations so each run records its schedules from scratch.
+// SetTraceStore layers a disk-backed trace store (rooted at dir, created if
+// missing) under the in-process cache; an empty dir removes the layer.
+// Traces recorded from now on are written through, and cache misses consult
+// the directory before recording.
+func SetTraceStore(dir string) error {
+	if dir == "" {
+		store.Store(nil)
+		return nil
+	}
+	s, err := tracestore.Open(dir)
+	if err != nil {
+		return err
+	}
+	store.Store(s)
+	return nil
+}
+
+// CacheStats snapshots the trace-cache counters: per-tier hits, the
+// recordings performed, and the disk tier's write and eviction activity.
+type CacheStats struct {
+	// MemoryHits counts lookups served by the in-process tier without
+	// recording or touching disk.
+	MemoryHits uint64
+	// DiskHits and DiskMisses count store lookups by in-process misses (a
+	// corrupt file is a miss).
+	DiskHits, DiskMisses uint64
+	// Records counts schedules actually executed under a recording fabric
+	// — the expensive path; a fully warm run keeps it at zero.
+	Records uint64
+	// DiskSaves counts traces written through to the store.
+	DiskSaves uint64
+	// CorruptEvictions counts store files that failed to decode and were
+	// removed (their slots re-record and re-save transparently).
+	CorruptEvictions uint64
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("trace cache: %d memory hits, %d disk hits, %d disk misses, %d recordings, %d disk saves, %d corrupt evictions",
+		s.MemoryHits, s.DiskHits, s.DiskMisses, s.Records, s.DiskSaves, s.CorruptEvictions)
+}
+
+// TraceCacheStats returns the counters accumulated since the last
+// ResetTraceCache (disk counters: since the store was set).
+func TraceCacheStats() CacheStats {
+	var ds tracestore.Stats
+	if s := store.Load(); s != nil {
+		ds = s.Stats()
+	}
+	return CacheStats{
+		MemoryHits:       cacheCounters.memHits.Load(),
+		DiskHits:         ds.Hits,
+		DiskMisses:       ds.Misses,
+		Records:          cacheCounters.records.Load(),
+		DiskSaves:        ds.Saves,
+		CorruptEvictions: ds.CorruptEvictions,
+	}
+}
+
+// ResetTraceCache drops every in-process cached trace and zeroes the memory
+// counters. Benchmarks call it between iterations so each run records (or
+// disk-loads) its schedules from scratch; the disk tier, if set, keeps its
+// files and counters.
 func ResetTraceCache() {
 	traceCache.mu.Lock()
-	traceCache.flat = map[traceKey]*traceEntry{}
-	traceCache.torus = map[torusTraceKey]*torusTraceEntry{}
+	traceCache.m = map[tracestore.Key]*traceEntry{}
 	traceCache.mu.Unlock()
+	cacheCounters.memHits.Store(0)
+	cacheCounters.records.Store(0)
 }
 
-// cachedTrace returns the algorithm's unit-granularity trace, recording it
-// on first use. Concurrent callers asking for the same key block on a single
-// recording; distinct keys record independently.
-func cachedTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
-	key := traceKey{coll: algo.Coll, name: algo.Name, p: p, root: root}
+// cachedTraceKey is the cache core: it returns the trace for the schedule
+// identity key, consulting the in-process tier, then the disk store, and
+// only then executing record — exactly once per key per process, however
+// many concurrent workers ask. Freshly recorded traces are written through
+// to the store.
+func cachedTraceKey(key tracestore.Key, record func() (*fabric.Trace, error)) (*fabric.Trace, error) {
 	traceCache.mu.Lock()
-	e, ok := traceCache.flat[key]
+	e, ok := traceCache.m[key]
 	if !ok {
 		e = &traceEntry{}
-		traceCache.flat[key] = e
+		traceCache.m[key] = e
 	}
 	traceCache.mu.Unlock()
-	e.once.Do(func() { e.tr, e.err = recordTrace(algo, p, root) })
+	if ok {
+		cacheCounters.memHits.Add(1)
+	}
+	e.once.Do(func() {
+		s := store.Load()
+		if tr, hit := s.Load(key); hit {
+			e.tr = tr
+			return
+		}
+		cacheCounters.records.Add(1)
+		e.tr, e.err = record()
+		if e.err == nil {
+			// Write-behind is best-effort: a read-only or full cache
+			// directory degrades to re-recording next process, never to a
+			// failed sweep.
+			_ = s.Save(key, e.tr)
+		}
+	})
 	return e.tr, e.err
 }
 
-// cachedTorusTrace is cachedTrace for torus-geometry algorithms, which the
-// registry does not cover; the torus shape joins the key.
-func cachedTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, int, error) {
-	key := torusTraceKey{coll: ta.Coll, name: ta.Name, dims: fmt.Sprint(tor.Dims), root: root}
-	traceCache.mu.Lock()
-	e, ok := traceCache.torus[key]
-	if !ok {
-		e = &torusTraceEntry{}
-		traceCache.torus[key] = e
+// cachedTrace returns a registry algorithm's unit-granularity trace.
+func cachedTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
+	key := tracestore.Key{
+		Kind:         "flat",
+		Collective:   algo.Coll.String(),
+		Algo:         algo.Name,
+		Shape:        strconv.Itoa(p),
+		Root:         root,
+		SchedVersion: schedVersion,
 	}
-	traceCache.mu.Unlock()
-	e.once.Do(func() { e.tr, e.n, e.err = recordTorusTrace(ta, tor, root) })
-	return e.tr, e.n, e.err
+	return cachedTraceKey(key, func() (*fabric.Trace, error) { return recordTrace(algo, p, root) })
+}
+
+// cachedTorusTrace is cachedTrace for torus-geometry algorithms, which the
+// registry does not cover; the torus shape and the recorded element count
+// join the identity.
+func cachedTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, int, error) {
+	n := torusRecordedElems(ta, tor)
+	key := tracestore.Key{
+		Kind:         "torus",
+		Collective:   ta.Coll.String(),
+		Algo:         ta.Name,
+		Shape:        fmt.Sprintf("%v/n=%d", tor.Dims, n),
+		Root:         root,
+		SchedVersion: schedVersion,
+	}
+	tr, err := cachedTraceKey(key, func() (*fabric.Trace, error) { return recordTorusTrace(ta, tor, root) })
+	return tr, n, err
+}
+
+// cachedNamedTrace caches ad-hoc recordings that no registry covers (the
+// Fig. 1 tree broadcasts, Fig. 5 butterfly allreduces, hierarchical and
+// Appendix D schedules): kind/name/shape must uniquely identify the
+// schedule and the recorded element count.
+func cachedNamedTrace(kind, name, shape string, record func() (*fabric.Trace, error)) (*fabric.Trace, error) {
+	key := tracestore.Key{
+		Kind:         kind,
+		Algo:         name,
+		Shape:        shape,
+		SchedVersion: schedVersion,
+	}
+	return cachedTraceKey(key, record)
 }

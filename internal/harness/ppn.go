@@ -77,19 +77,24 @@ func PPN(w io.Writer, opts Options) error {
 		if err != nil {
 			return nil, err
 		}
-		times := make([]float64, len(sizes))
+		elemBytes := make([]float64, len(sizes))
+		copyBytes := make([]float64, len(sizes))
 		for si, size := range sizes {
-			r, err := netsim.Evaluate(tr, topo, sys.Params, netsim.Eval{
-				Placement: placement,
-				ElemBytes: float64(size) / float64(p),
-				Reduces:   j.collective.Reduces(),
-				Overlap:   algo.Overlap,
-				CopyBytes: algo.CopyFactor * float64(size),
-			})
-			if err != nil {
-				return nil, err
-			}
-			times[si] = r.Time
+			elemBytes[si] = float64(size) / float64(p)
+			copyBytes[si] = algo.CopyFactor * float64(size)
+		}
+		rs, err := netsim.EvaluateSizes(tr, topo, sys.Params, netsim.Eval{
+			Placement:   placement,
+			Reduces:     j.collective.Reduces(),
+			Overlap:     algo.Overlap,
+			CopyBytesAt: copyBytes,
+		}, elemBytes)
+		if err != nil {
+			return nil, err
+		}
+		times := make([]float64, len(sizes))
+		for si := range sizes {
+			times[si] = rs[si].Time
 		}
 		return times, nil
 	})

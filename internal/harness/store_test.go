@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// renderSuite runs the full quick artifact suite and returns its rendering.
+func renderSuite(t *testing.T, workers int) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := RunAll(&sb, Options{Quick: true, Workers: workers}); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return sb.String()
+}
+
+func resetCaches(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		if err := SetTraceStore(""); err != nil {
+			t.Error(err)
+		}
+		ResetTraceCache()
+	})
+	if err := SetTraceStore(""); err != nil {
+		t.Fatal(err)
+	}
+	ResetTraceCache()
+}
+
+// TestStoreEquivalenceMatrix pins the tentpole guarantee of the persistent
+// store: the complete quick artifact suite renders byte-identically across
+// {no store, cold store, warm store} × {Workers=1, Workers=NumCPU}, and a
+// warm-store run performs zero trace recordings — every schedule loads from
+// disk (asserted via the cache counters).
+func TestStoreEquivalenceMatrix(t *testing.T) {
+	resetCaches(t)
+	dir := t.TempDir()
+	reference := renderSuite(t, 1)
+	if s := TraceCacheStats(); s.Records == 0 {
+		t.Fatal("baseline run recorded nothing")
+	}
+
+	type variant struct {
+		name    string
+		store   bool
+		workers int
+	}
+	variants := []variant{
+		{"no-store/parallel", false, runtime.NumCPU()},
+		{"cold-store/serial", true, 1},
+		{"warm-store/serial", true, 1},
+		{"warm-store/parallel", true, runtime.NumCPU()},
+	}
+	for i, v := range variants {
+		ResetTraceCache()
+		storeDir := ""
+		if v.store {
+			storeDir = dir
+		}
+		if err := SetTraceStore(storeDir); err != nil {
+			t.Fatal(err)
+		}
+		if out := renderSuite(t, v.workers); out != reference {
+			t.Fatalf("%s: rendering diverges from the no-store serial reference", v.name)
+		}
+		s := TraceCacheStats()
+		warm := i >= 2 // the cold-store pass populated dir
+		switch {
+		case !v.store && s.DiskHits+s.DiskSaves != 0:
+			t.Fatalf("%s: disk activity without a store: %+v", v.name, s)
+		case v.store && !warm && (s.Records == 0 || s.DiskSaves == 0):
+			t.Fatalf("%s: cold store did not record and save: %+v", v.name, s)
+		case warm && s.Records != 0:
+			t.Fatalf("%s: warm store still recorded %d schedules: %+v", v.name, s.Records, s)
+		}
+		if warm && s.DiskHits == 0 {
+			t.Fatalf("%s: warm store served no hits: %+v", v.name, s)
+		}
+	}
+}
+
+// TestStoreCorruptionRecovered pins the degradation path: damaging every
+// stored file turns the warm store cold — corrupt files are evicted,
+// schedules re-record and re-save — without changing a single artifact byte.
+func TestStoreCorruptionRecovered(t *testing.T) {
+	resetCaches(t)
+	dir := t.TempDir()
+	reference := renderSuite(t, runtime.NumCPU())
+	if err := SetTraceStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	ResetTraceCache()
+	if out := renderSuite(t, runtime.NumCPU()); out != reference {
+		t.Fatal("cold store rendering diverges")
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("store files %v err %v", files, err)
+	}
+	for i, f := range files {
+		// Alternate damage modes: truncation and garbling.
+		if i%2 == 0 {
+			if err := os.Truncate(f, 5); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := os.WriteFile(f, []byte("BTRCgarbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ResetTraceCache()
+	if out := renderSuite(t, runtime.NumCPU()); out != reference {
+		t.Fatal("rendering diverges after store corruption")
+	}
+	s := TraceCacheStats()
+	if s.CorruptEvictions < uint64(len(files)) {
+		t.Fatalf("only %d of %d corrupt files evicted: %+v", s.CorruptEvictions, len(files), s)
+	}
+	if s.Records == 0 {
+		t.Fatalf("corrupt store served traces without re-recording: %+v", s)
+	}
+	// The re-saved store is warm again.
+	ResetTraceCache()
+	if out := renderSuite(t, runtime.NumCPU()); out != reference {
+		t.Fatal("rendering diverges after recovery")
+	}
+	if s := TraceCacheStats(); s.Records != 0 {
+		t.Fatalf("recovered store still recording: %+v", s)
+	}
+}

@@ -151,20 +151,27 @@ func sweepCollective(sys System, collective coll.Collective, counts []int, sizes
 		if err != nil {
 			return nil, err
 		}
-		cells := make([]cell, len(sizes))
+		// One structural replay scores every vector size of the cell:
+		// EvaluateSizes derives each size's Result arithmetically from the
+		// shared per-step profile, exactly matching per-size Evaluate calls.
+		elemBytes := make([]float64, len(sizes))
+		copyBytes := make([]float64, len(sizes))
 		for si, size := range sizes {
-			ev := netsim.Eval{
-				Placement: placements[j.p],
-				ElemBytes: float64(size) / float64(j.p),
-				Reduces:   collective.Reduces(),
-				Overlap:   j.algo.Overlap,
-				CopyBytes: j.algo.CopyFactor * float64(size),
-			}
-			r, err := netsim.Evaluate(tr, topos[j.p], sys.Params, ev)
-			if err != nil {
-				return nil, err
-			}
-			cells[si] = cell{Time: r.Time, Global: r.GlobalBytes}
+			elemBytes[si] = float64(size) / float64(j.p)
+			copyBytes[si] = j.algo.CopyFactor * float64(size)
+		}
+		rs, err := netsim.EvaluateSizes(tr, topos[j.p], sys.Params, netsim.Eval{
+			Placement:   placements[j.p],
+			Reduces:     collective.Reduces(),
+			Overlap:     j.algo.Overlap,
+			CopyBytesAt: copyBytes,
+		}, elemBytes)
+		if err != nil {
+			return nil, err
+		}
+		cells := make([]cell, len(sizes))
+		for si := range sizes {
+			cells[si] = cell{Time: rs[si].Time, Global: rs[si].GlobalBytes}
 		}
 		return cells, nil
 	})
@@ -248,14 +255,21 @@ func torusAlgos() []torusAlgo {
 	}
 }
 
-// recordTorusTrace executes a torus algorithm at small block granularity.
-func recordTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, int, error) {
-	p := tor.P()
+// torusRecordedElems is the block granularity a torus algorithm records at;
+// it is deterministic in the algorithm and geometry, so the trace caches
+// fold it into the schedule identity without executing anything.
+func torusRecordedElems(ta torusAlgo, tor core.Torus) int {
 	mult := ta.VecMult
 	if mult == 0 {
 		mult = 2 * tor.NDims() // safe for every per-dimension split
 	}
-	n := p * mult
+	return tor.P() * mult
+}
+
+// recordTorusTrace executes a torus algorithm at small block granularity.
+func recordTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, error) {
+	p := tor.P()
+	n := torusRecordedElems(ta, tor)
 	rec := fabric.NewRecorder(fabric.NewMem(p))
 	defer rec.Close()
 	err := fabric.Run(rec, func(c fabric.Comm) error {
@@ -268,25 +282,25 @@ func recordTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, in
 		return ta.Run(c, tor, root, in, out, coll.OpSum)
 	})
 	if err != nil {
-		return nil, 0, fmt.Errorf("harness: torus %v/%s %v: %w", ta.Coll, ta.Name, tor.Dims, err)
+		return nil, fmt.Errorf("harness: torus %v/%s %v: %w", ta.Coll, ta.Name, tor.Dims, err)
 	}
-	return rec.Trace(), n, nil
+	return rec.Trace(), nil
 }
 
-// evaluateOnTorus scores a recorded trace on the torus network.
-func evaluateOnTorus(tr *fabric.Trace, recordedElems int, topo *topology.Torus, size int64, reduces bool, overlap float64) (cell, error) {
+// evaluateOnTorusSizes scores a recorded trace on the torus network at every
+// vector size in one replay.
+func evaluateOnTorusSizes(tr *fabric.Trace, recordedElems int, topo *topology.Torus, sizes []int64, reduces bool, overlap float64) ([]netsim.Result, error) {
 	placement := make([]int, tr.P)
 	for i := range placement {
 		placement[i] = i
 	}
-	r, err := netsim.Evaluate(tr, topo, FugakuParams(), netsim.Eval{
+	elemBytes := make([]float64, len(sizes))
+	for si, size := range sizes {
+		elemBytes[si] = float64(size) / float64(recordedElems)
+	}
+	return netsim.EvaluateSizes(tr, topo, FugakuParams(), netsim.Eval{
 		Placement: placement,
-		ElemBytes: float64(size) / float64(recordedElems),
 		Reduces:   reduces,
 		Overlap:   overlap,
-	})
-	if err != nil {
-		return cell{}, err
-	}
-	return cell{Time: r.Time, Global: r.GlobalBytes}, nil
+	}, elemBytes)
 }

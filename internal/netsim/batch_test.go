@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"testing"
+
+	"binetrees/internal/coll"
+	"binetrees/internal/fabric"
+	"binetrees/internal/topology"
+)
+
+// algoTrace records a registry algorithm at unit block granularity (n = p
+// elements), the way the harness does.
+func algoTrace(t *testing.T, algo coll.Algorithm, p int) *fabric.Trace {
+	t.Helper()
+	run, err := algo.Make(p, 0)
+	if err != nil {
+		t.Fatalf("%v/%s: %v", algo.Coll, algo.Name, err)
+	}
+	rec := fabric.NewRecorder(fabric.NewMem(p))
+	defer rec.Close()
+	err = fabric.Run(rec, func(c fabric.Comm) error {
+		inLen, outLen := algo.Coll.InOutLens(p, p)
+		in := make([]int32, inLen)
+		var out []int32
+		if outLen > 0 {
+			out = make([]int32, outLen)
+		}
+		return run(c, 0, in, out, coll.OpSum)
+	})
+	if err != nil {
+		t.Fatalf("%v/%s: %v", algo.Coll, algo.Name, err)
+	}
+	return rec.Trace()
+}
+
+func testTopologies(t *testing.T, p int) map[string]topology.Topology {
+	t.Helper()
+	updown, err := topology.NewUpDown(topology.UpDownConfig{
+		Name: "updown", Groups: 4, NodesPerGroup: p / 4, NICBW: 25e9, Oversub: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfly, err := topology.NewDragonfly(topology.DragonflyConfig{
+		Name: "dfly", Groups: 4, NodesPerGroup: p / 4, NICBW: 25e9, GlobalBW: 50e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus, err := topology.NewTorus(topology.TorusConfig{
+		Name: "torus", Dims: []int{4, p / 4}, NICBW: 6.8e9, LinkBW: 6.8e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]topology.Topology{
+		"flat":      topology.NewFlat("flat", p, 25e9),
+		"updown":    updown,
+		"dragonfly": dfly,
+		"torus":     torus,
+	}
+}
+
+// TestEvaluateSizesMatchesEvaluate pins the batched evaluator's exactness
+// guarantee: for every registry algorithm (all collectives) on every
+// topology family, EvaluateSizes returns bit-for-bit the Result of a
+// per-size Evaluate call — with == on every field, no epsilon — including
+// non-dyadic element scales like the torus recordings produce and the
+// per-size copy costs of the permute strategies.
+func TestEvaluateSizesMatchesEvaluate(t *testing.T) {
+	const p = 16
+	// Dyadic scales (the flat sweeps), awkward rationals (torus recordings
+	// divide by p·2·ndims), and arbitrary decimals.
+	elemBytes := []float64{0.25, 4, 4096, 1024.0 / 48.0, 1e6 / 384.0, 7.3, 123456.789}
+	copyBytes := make([]float64, len(elemBytes))
+	for i, eb := range elemBytes {
+		copyBytes[i] = 0.5 * eb * p
+	}
+	topos := testTopologies(t, p)
+	params := testParams()
+	params.PerHopLatency = 3e-7
+	checked := 0
+	for _, algo := range coll.Registry() {
+		tr := algoTrace(t, algo, p)
+		for name, topo := range topos {
+			ev := Eval{
+				Placement:   identity(p),
+				Reduces:     algo.Coll.Reduces(),
+				Overlap:     algo.Overlap,
+				CopyBytesAt: copyBytes,
+			}
+			batched, err := EvaluateSizes(tr, topo, params, ev, elemBytes)
+			if err != nil {
+				t.Fatalf("%v/%s on %s: %v", algo.Coll, algo.Name, name, err)
+			}
+			if len(batched) != len(elemBytes) {
+				t.Fatalf("%v/%s on %s: %d results for %d sizes", algo.Coll, algo.Name, name, len(batched), len(elemBytes))
+			}
+			for i, eb := range elemBytes {
+				single, err := Evaluate(tr, topo, params, Eval{
+					Placement: ev.Placement,
+					ElemBytes: eb,
+					Reduces:   ev.Reduces,
+					Overlap:   ev.Overlap,
+					CopyBytes: copyBytes[i],
+				})
+				if err != nil {
+					t.Fatalf("%v/%s on %s: %v", algo.Coll, algo.Name, name, err)
+				}
+				if batched[i] != single {
+					t.Fatalf("%v/%s on %s, elemBytes=%v:\n batched %+v\n  single %+v",
+						algo.Coll, algo.Name, name, eb, batched[i], single)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no configurations checked")
+	}
+	t.Logf("%d (algorithm, topology, size) configurations bit-identical", checked)
+}
+
+func TestEvaluateSizesErrors(t *testing.T) {
+	tr := &fabric.Trace{P: 4, Records: []fabric.Record{{From: 0, To: 1, Elems: 1}}}
+	topo := topology.NewFlat("f", 4, 10e9)
+	// Short placement fails like Evaluate.
+	if _, err := EvaluateSizes(tr, topo, testParams(), Eval{Placement: identity(2)}, []float64{1}); err == nil {
+		t.Fatal("short placement accepted")
+	}
+	// Mismatched per-size copy costs fail.
+	if _, err := EvaluateSizes(tr, topo, testParams(), Eval{
+		Placement: identity(4), CopyBytesAt: []float64{1, 2, 3},
+	}, []float64{1}); err == nil {
+		t.Fatal("mismatched CopyBytesAt accepted")
+	}
+	// Without CopyBytesAt the shared CopyBytes applies to every size.
+	p := testParams()
+	rs, err := EvaluateSizes(tr, topo, p, Eval{Placement: identity(4), CopyBytes: 1e9}, []float64{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, eb := range []float64{4, 8} {
+		single, err := Evaluate(tr, topo, p, Eval{Placement: identity(4), ElemBytes: eb, CopyBytes: 1e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs[i] != single {
+			t.Fatalf("size %d: batched %+v != single %+v", i, rs[i], single)
+		}
+	}
+}

@@ -56,6 +56,10 @@ type Eval struct {
 	// CopyBytes charges extra local data movement (permute strategies),
 	// already scaled to bytes.
 	CopyBytes float64
+	// CopyBytesAt optionally gives EvaluateSizes a per-size copy cost,
+	// index-paired with its elemBytes argument (CopyBytes covers every
+	// size otherwise). Evaluate ignores it.
+	CopyBytesAt []float64
 }
 
 // Result summarizes one evaluation.
@@ -73,82 +77,195 @@ type Result struct {
 	Messages int
 }
 
-// Evaluate replays the trace on the topology.
-func Evaluate(tr *fabric.Trace, topo topology.Topology, p Params, ev Eval) (Result, error) {
+// loadClass is the heaviest per-step link load within one bandwidth class,
+// in recorded elements. Loads in elems scale to any ElemBytes, and — because
+// IEEE multiplication and division are correctly rounded, hence monotone —
+// the most-loaded link of a class at unit scale stays the most loaded at
+// every scale, so one (elems, bw) pair per class reproduces the per-link
+// maximum exactly.
+type loadClass struct {
+	elems int64
+	bw    float64
+}
+
+// stepProfile captures everything a trace step contributes to the cost model
+// except the element scale: structural integer quantities plus the bandwidth
+// classes of its link loads.
+type stepProfile struct {
+	// hasLocal records a message whose route crosses no global link;
+	// maxHops is the most global links any message traverses. Together
+	// they determine the step's base latency for any Params.
+	hasLocal bool
+	maxHops  int
+	// maxMsgs is the most messages any single sender emits.
+	maxMsgs int
+	// maxRecvElems is the most elements any single rank receives (charged
+	// Gamma when the collective reduces).
+	maxRecvElems int64
+	loads        []loadClass
+}
+
+// traceProfile is the element-scale-independent replay of a trace on a
+// topology under a placement: one pass over routes and link loads from which
+// every vector size's Result derives arithmetically.
+type traceProfile struct {
+	steps                   []stepProfile
+	totalElems, globalElems int64
+	messages                int
+}
+
+// profile replays the trace once, accumulating link loads and received
+// volumes as exact integer element counts.
+func profile(tr *fabric.Trace, topo topology.Topology, ev Eval) (*traceProfile, error) {
 	if len(ev.Placement) < tr.P {
-		return Result{}, fmt.Errorf("netsim: placement covers %d of %d ranks", len(ev.Placement), tr.P)
+		return nil, fmt.Errorf("netsim: placement covers %d of %d ranks", len(ev.Placement), tr.P)
 	}
 	links := topo.Links()
-	loads := make([]float64, len(links))
-	var res Result
+	loads := make([]int64, len(links))
+	pf := &traceProfile{}
 	for _, step := range tr.Steps() {
 		if len(step) == 0 {
 			continue
 		}
-		res.Steps++
 		for i := range loads {
 			loads[i] = 0
 		}
-		alpha := 0.0
-		var maxRecv float64
-		recvPer := map[int]float64{}
+		sp := stepProfile{maxHops: -1}
+		recvPer := map[int]int64{}
 		sendCnt := map[int]int{}
-		maxMsgs := 0
 		for _, m := range step {
 			src, dst := ev.Placement[m.From], ev.Placement[m.To]
-			bytes := float64(m.Elems) * ev.ElemBytes
-			res.TotalBytes += bytes
-			res.Messages++
-			route := topo.Route(src, dst)
-			a := p.AlphaLocal
+			elems := int64(m.Elems)
+			pf.totalElems += elems
+			pf.messages++
 			hops := 0
-			for _, id := range route {
-				loads[id] += bytes
+			for _, id := range topo.Route(src, dst) {
+				loads[id] += elems
 				if links[id].Kind == topology.Global {
-					a = p.AlphaGlobal
-					res.GlobalBytes += bytes
+					pf.globalElems += elems
 					hops++
 				}
 			}
-			if hops > 1 {
-				a += float64(hops-1) * p.PerHopLatency
+			if hops == 0 {
+				sp.hasLocal = true
 			}
-			if a > alpha {
-				alpha = a
+			if hops > sp.maxHops {
+				sp.maxHops = hops
 			}
 			if ev.Reduces {
-				recvPer[m.To] += bytes
-				if recvPer[m.To] > maxRecv {
-					maxRecv = recvPer[m.To]
+				recvPer[m.To] += elems
+				if recvPer[m.To] > sp.maxRecvElems {
+					sp.maxRecvElems = recvPer[m.To]
 				}
 			}
 			sendCnt[m.From]++
-			if sendCnt[m.From] > maxMsgs {
-				maxMsgs = sendCnt[m.From]
+			if sendCnt[m.From] > sp.maxMsgs {
+				sp.maxMsgs = sendCnt[m.From]
 			}
 		}
-		worst := 0.0
+		// Collapse the per-link loads to one heaviest load per bandwidth
+		// class; topologies have a handful of classes, so the per-size
+		// derivation touches a few pairs instead of every link.
 		for i, load := range loads {
 			if load == 0 {
 				continue
 			}
-			if t := load / links[i].BW; t > worst {
+			found := false
+			for ci := range sp.loads {
+				if sp.loads[ci].bw == links[i].BW {
+					if load > sp.loads[ci].elems {
+						sp.loads[ci].elems = load
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				sp.loads = append(sp.loads, loadClass{elems: load, bw: links[i].BW})
+			}
+		}
+		pf.steps = append(pf.steps, sp)
+	}
+	return pf, nil
+}
+
+// result derives one element scale's Result from the profile, mirroring the
+// replaying evaluator's arithmetic step by step.
+func (pf *traceProfile) result(p Params, ev Eval, elemBytes, copyBytes float64) Result {
+	res := Result{
+		Steps:       len(pf.steps),
+		Messages:    pf.messages,
+		TotalBytes:  float64(pf.totalElems) * elemBytes,
+		GlobalBytes: float64(pf.globalElems) * elemBytes,
+	}
+	for _, sp := range pf.steps {
+		alpha := 0.0
+		if sp.hasLocal {
+			alpha = p.AlphaLocal
+		}
+		if sp.maxHops >= 1 {
+			a := p.AlphaGlobal
+			if sp.maxHops > 1 {
+				a += float64(sp.maxHops-1) * p.PerHopLatency
+			}
+			if a > alpha {
+				alpha = a
+			}
+		}
+		worst := 0.0
+		for _, lc := range sp.loads {
+			if t := float64(lc.elems) * elemBytes / lc.bw; t > worst {
 				worst = t
 			}
 		}
 		stepTime := alpha + worst
-		if maxMsgs > 1 {
-			stepTime += float64(maxMsgs-1) * p.MsgOverhead
+		if sp.maxMsgs > 1 {
+			stepTime += float64(sp.maxMsgs-1) * p.MsgOverhead
 		}
-		if ev.Reduces && maxRecv > 0 {
-			stepTime += maxRecv * p.Gamma * (1 - ev.Overlap)
+		if ev.Reduces && sp.maxRecvElems > 0 {
+			stepTime += float64(sp.maxRecvElems) * elemBytes * p.Gamma * (1 - ev.Overlap)
 		}
 		res.Time += stepTime
 	}
-	if ev.CopyBytes > 0 && p.MemBW > 0 {
-		res.Time += ev.CopyBytes / p.MemBW
+	if copyBytes > 0 && p.MemBW > 0 {
+		res.Time += copyBytes / p.MemBW
 	}
-	return res, nil
+	return res
+}
+
+// Evaluate replays the trace on the topology.
+func Evaluate(tr *fabric.Trace, topo topology.Topology, p Params, ev Eval) (Result, error) {
+	pf, err := profile(tr, topo, ev)
+	if err != nil {
+		return Result{}, err
+	}
+	return pf.result(p, ev, ev.ElemBytes, ev.CopyBytes), nil
+}
+
+// EvaluateSizes evaluates one trace at every element scale of elemBytes in a
+// single topology replay: the structural pass over routes and link loads
+// runs once, and each size's Result is derived arithmetically — exactly the
+// Result Evaluate returns for that scale, not an approximation, because the
+// two share the profile and the derivation. Per-size copy costs come from
+// ev.CopyBytesAt (index-paired with elemBytes) when set, ev.CopyBytes
+// otherwise; ev.ElemBytes is ignored.
+func EvaluateSizes(tr *fabric.Trace, topo topology.Topology, p Params, ev Eval, elemBytes []float64) ([]Result, error) {
+	if ev.CopyBytesAt != nil && len(ev.CopyBytesAt) != len(elemBytes) {
+		return nil, fmt.Errorf("netsim: %d copy costs for %d sizes", len(ev.CopyBytesAt), len(elemBytes))
+	}
+	pf, err := profile(tr, topo, ev)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(elemBytes))
+	for i, eb := range elemBytes {
+		copyBytes := ev.CopyBytes
+		if ev.CopyBytesAt != nil {
+			copyBytes = ev.CopyBytesAt[i]
+		}
+		out[i] = pf.result(p, ev, eb, copyBytes)
+	}
+	return out, nil
 }
 
 // GlobalTraffic is the traffic-only fast path used by the Fig. 5 allocation

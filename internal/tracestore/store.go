@@ -1,0 +1,163 @@
+// Package tracestore is a disk-backed, content-addressed store for recorded
+// communication traces (fabric.Trace). A trace depends only on its schedule
+// identity — (collective, algorithm, rank count, root), plus geometry for
+// torus schedules — so the store keys each file by a hash of that identity
+// together with the codec and schedule versions: repeated sweeps and CI runs
+// load every schedule instead of re-executing it, and any change to the
+// format or to an algorithm's schedule simply hashes to fresh addresses,
+// leaving stale files unreferenced rather than wrongly reused.
+//
+// The store is tolerant by design: a missing, truncated or garbled file is a
+// miss (counted, and the corrupt file evicted) — callers re-record and
+// re-save, so a damaged cache directory can never fail or corrupt a sweep.
+package tracestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"binetrees/internal/fabric"
+)
+
+// Key is the schedule identity a stored trace is addressed by. Fields are
+// hashed, not parsed back; they only need to uniquely name the schedule.
+type Key struct {
+	// Kind separates key namespaces (e.g. "flat", "torus").
+	Kind string
+	// Collective and Algo name the schedule.
+	Collective, Algo string
+	// Shape is the geometry: the rank count for flat schedules, the torus
+	// dims (and recorded element count) for torus ones.
+	Shape string
+	// Root is the collective's root rank.
+	Root int
+	// SchedVersion tags the generation of the schedule constructions;
+	// callers bump it when an algorithm's schedule changes so stale traces
+	// are never reused.
+	SchedVersion int
+}
+
+// addr returns the content address: a hash over every identity field and the
+// codec version.
+func (k Key) addr() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("codec=%d|sched=%d|kind=%s|coll=%s|algo=%s|shape=%s|root=%d",
+		fabric.CodecVersion, k.SchedVersion, k.Kind, k.Collective, k.Algo, k.Shape, k.Root)))
+	return hex.EncodeToString(h[:16])
+}
+
+// Stats are the store's lifetime counters.
+type Stats struct {
+	// Hits and Misses count Load outcomes (a corrupt file counts as a miss).
+	Hits, Misses uint64
+	// Saves counts successfully written traces.
+	Saves uint64
+	// CorruptEvictions counts files that failed to decode and were removed.
+	CorruptEvictions uint64
+}
+
+// Store is a directory of encoded traces. The zero value is a disabled
+// store: every Load misses, every Save is dropped. Methods are safe for
+// concurrent use.
+type Store struct {
+	dir string
+
+	hits, misses, saves, corrupt atomic.Uint64
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("tracestore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Enabled reports whether the store is backed by a directory.
+func (s *Store) Enabled() bool { return s != nil && s.dir != "" }
+
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, k.addr()+".trace")
+}
+
+// Load returns the stored trace for the key, or ok=false on any miss: no
+// file, unreadable file, or a file that fails to decode (stale codec,
+// truncation, corruption). Undecodable files are evicted so the slot is
+// cleanly re-recorded and re-saved by the caller.
+func (s *Store) Load(k Key) (tr *fabric.Trace, ok bool) {
+	if !s.Enabled() {
+		return nil, false
+	}
+	f, err := os.Open(s.path(k))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	fi, statErr := f.Stat()
+	tr, err = fabric.DecodeTrace(f)
+	f.Close()
+	if err != nil {
+		// Evict the damaged file — but only if the path still names the
+		// file we read: in a store shared across processes, a concurrent
+		// Save may have renamed a fresh valid trace into place. The
+		// stat-and-compare narrows that race to a vanishing window rather
+		// than eliminating it; losing the race merely deletes a trace the
+		// next run re-records and re-saves, never corrupts one.
+		if cur, err := os.Stat(s.path(k)); statErr == nil && err == nil && os.SameFile(fi, cur) {
+			os.Remove(s.path(k))
+		}
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return tr, true
+}
+
+// Save writes the trace under the key's content address. The write is
+// atomic (temp file + rename), so concurrent savers and crashed runs leave
+// either the complete trace or nothing; a Load can never observe a torn
+// write as anything but a (self-evicting) corrupt file.
+func (s *Store) Save(k Key, tr *fabric.Trace) error {
+	if !s.Enabled() {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, "."+k.addr()+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := fabric.EncodeTrace(tmp, tr); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tracestore: encoding %s: %w", k.addr(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	s.saves.Add(1)
+	return nil
+}
+
+// Stats snapshots the lifetime counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:             s.hits.Load(),
+		Misses:           s.misses.Load(),
+		Saves:            s.saves.Load(),
+		CorruptEvictions: s.corrupt.Load(),
+	}
+}

@@ -1,0 +1,144 @@
+package tracestore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"binetrees/internal/fabric"
+)
+
+func testTrace(p, seed int) *fabric.Trace {
+	tr := &fabric.Trace{P: p}
+	for i := 0; i < 10+seed; i++ {
+		tr.Records = append(tr.Records, fabric.Record{
+			From: i % p, To: (i + 1 + seed) % p, Step: i / 3, Sub: i % 2, Elems: 1 + i*seed,
+		})
+	}
+	return tr
+}
+
+func testKey(algo string, p int) Key {
+	return Key{Kind: "flat", Collective: "allreduce", Algo: algo, Shape: "16", Root: 0, SchedVersion: p}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := testKey("ring", 1), testKey("swing", 1)
+	t1, t2 := testTrace(8, 1), testTrace(16, 2)
+	if _, ok := s.Load(k1); ok {
+		t.Fatal("empty store hit")
+	}
+	if err := s.Save(k1, t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(k2, t2); err != nil {
+		t.Fatal(err)
+	}
+	got1, ok1 := s.Load(k1)
+	got2, ok2 := s.Load(k2)
+	if !ok1 || !ok2 {
+		t.Fatal("saved traces not found")
+	}
+	if !reflect.DeepEqual(got1, t1) || !reflect.DeepEqual(got2, t2) {
+		t.Fatal("loaded traces differ from saved ones")
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Saves != 2 || st.CorruptEvictions != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestStoreKeyIdentity(t *testing.T) {
+	// Every identity field — including the schedule version — must change
+	// the content address.
+	base := Key{Kind: "flat", Collective: "allreduce", Algo: "ring", Shape: "16", Root: 0, SchedVersion: 1}
+	variants := []Key{
+		{Kind: "torus", Collective: "allreduce", Algo: "ring", Shape: "16", Root: 0, SchedVersion: 1},
+		{Kind: "flat", Collective: "bcast", Algo: "ring", Shape: "16", Root: 0, SchedVersion: 1},
+		{Kind: "flat", Collective: "allreduce", Algo: "swing", Shape: "16", Root: 0, SchedVersion: 1},
+		{Kind: "flat", Collective: "allreduce", Algo: "ring", Shape: "32", Root: 0, SchedVersion: 1},
+		{Kind: "flat", Collective: "allreduce", Algo: "ring", Shape: "16", Root: 1, SchedVersion: 1},
+		{Kind: "flat", Collective: "allreduce", Algo: "ring", Shape: "16", Root: 0, SchedVersion: 2},
+	}
+	seen := map[string]bool{base.addr(): true}
+	for i, k := range variants {
+		if seen[k.addr()] {
+			t.Fatalf("variant %d collides: %+v", i, k)
+		}
+		seen[k.addr()] = true
+	}
+	if base.addr() != (Key{Kind: "flat", Collective: "allreduce", Algo: "ring", Shape: "16", SchedVersion: 1}).addr() {
+		t.Fatal("identical keys hash differently")
+	}
+}
+
+func TestStoreEvictsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("ring", 1)
+	if err := s.Save(k, testTrace(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("files %v err %v", files, err)
+	}
+	// Truncate the stored file mid-payload: Load must treat it as a miss
+	// and remove it so the slot can be re-recorded.
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(k); ok {
+		t.Fatal("corrupt file loaded")
+	}
+	if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+		t.Fatal("corrupt file not evicted")
+	}
+	st := s.Stats()
+	if st.CorruptEvictions != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The slot re-saves and loads cleanly afterwards.
+	if err := s.Save(k, testTrace(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(k); !ok {
+		t.Fatal("re-saved trace not found")
+	}
+}
+
+func TestDisabledStore(t *testing.T) {
+	// nil and zero stores are inert: misses and dropped saves, no errors.
+	for _, s := range []*Store{nil, {}} {
+		if s.Enabled() {
+			t.Fatal("disabled store claims enabled")
+		}
+		if _, ok := s.Load(testKey("ring", 1)); ok {
+			t.Fatal("disabled store hit")
+		}
+		if err := s.Save(testKey("ring", 1), testTrace(8, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if st := s.Stats(); st != (Stats{}) {
+			t.Fatalf("stats %+v", st)
+		}
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
