@@ -3,21 +3,27 @@
 // rendering of the corresponding paper artifact; EXPERIMENTS.md at the
 // repository root maps every experiment name to its paper artifact.
 //
-// Sweep cells are evaluated on a worker pool (one worker per CPU by
-// default; -workers overrides) with a process-wide trace cache: every
-// schedule is recorded once and one structural replay per (trace,
-// placement) scores all vector sizes, so -full runs scale with the hardware
-// while producing byte-identical artifacts at any pool width. With
-// -trace-cache the recordings also persist to a content-addressed on-disk
-// store shared across runs — a warm store makes repeated -full runs and CI
-// sweeps skip every recording (identical output, pinned by tests). -v
-// prints the cache counters (memory/disk hits, recordings, evictions) to
-// stderr so warm and cold runs are observable.
+// Every experiment compiles to a flat job graph of independent recording
+// and evaluation cells. A single experiment drains its cells on its own
+// worker pool (one worker per CPU by default; -workers overrides);
+// -experiment all compiles all experiments up front and drains every
+// system's cells — LUMI, Leonardo, MareNostrum, Fugaku — on one shared
+// process-wide pool, with -systems selecting a subset of the artifact
+// groups and -progress reporting live per-system cell counts on stderr.
+// Receive deadlines in the recording fabric scale with the schedule
+// length, so full-scale recordings (the 8192-node Fugaku ring) complete
+// instead of tripping the flat timeout. Artifacts are byte-identical at
+// any pool width and sharding (pinned by tests). With -trace-cache the
+// recordings also persist to a content-addressed on-disk store shared
+// across runs — a warm store makes repeated -full runs and CI sweeps skip
+// every recording. -v prints the cache counters (memory/disk hits,
+// recordings, evictions) to stderr so warm and cold runs are observable.
 //
 // Usage:
 //
 //	binebench -experiment all                     # everything, quick sweep
 //	binebench -experiment table3 -full            # one artifact at full paper scale
+//	binebench -experiment all -systems lumi,fugaku -progress
 //	binebench -experiment all -workers 1
 //	binebench -experiment all -trace-cache ~/.cache/binetrees -v
 //
@@ -30,6 +36,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"sync"
 
 	"binetrees/internal/harness"
 )
@@ -38,21 +46,64 @@ func main() {
 	experiment := flag.String("experiment", "all", "which paper artifact to regenerate")
 	full := flag.Bool("full", false, "run the full paper-scale sweep (slower) instead of the quick one")
 	workers := flag.Int("workers", 0, "sweep worker pool width (0 = one per CPU)")
+	systems := flag.String("systems", "", "comma-separated system keys restricting -experiment all ("+strings.Join(harness.SystemKeys(), ", ")+"); empty = all")
+	progress := flag.Bool("progress", false, "report live per-system cell counts on stderr")
 	traceCache := flag.String("trace-cache", "", "directory of the persistent trace store (empty = in-process cache only)")
 	verbose := flag.Bool("v", false, "print trace-cache statistics to stderr after the run")
 	flag.Parse()
+	if *systems != "" && *experiment != "all" {
+		fmt.Fprintln(os.Stderr, "binebench: -systems only applies to -experiment all")
+		os.Exit(2)
+	}
 	if err := harness.SetTraceStore(*traceCache); err != nil {
 		fmt.Fprintln(os.Stderr, "binebench:", err)
 		os.Exit(1)
 	}
 	opts := harness.Options{Quick: !*full, Workers: *workers}
+	if *systems != "" {
+		opts.Systems = strings.Split(*systems, ",")
+	}
+	if *progress {
+		opts.Progress = progressPrinter(os.Stderr)
+	}
 	err := run(os.Stdout, *experiment, opts)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if *verbose {
 		fmt.Fprintln(os.Stderr, harness.TraceCacheStats())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "binebench:", err)
 		os.Exit(1)
+	}
+}
+
+// progressPrinter renders the per-system cell counters as a single
+// rewritten stderr line: "lumi 132/270  leonardo 88/308  ...".
+func progressPrinter(w io.Writer) harness.ProgressFunc {
+	var mu sync.Mutex
+	var order []string
+	state := map[string][2]int{}
+	return func(system string, done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, ok := state[system]; !ok {
+			order = append(order, system)
+		}
+		state[system] = [2]int{done, total}
+		parts := make([]string, len(order))
+		for i, s := range order {
+			parts[i] = fmt.Sprintf("%s %d/%d", s, state[s][0], state[s][1])
+		}
+		// Pad-and-truncate to one fixed-width line so the \r rewrite never
+		// wraps and scrolls on narrow terminals.
+		const width = 79
+		line := strings.Join(parts, "  ")
+		if len(line) > width {
+			line = line[:width]
+		}
+		fmt.Fprintf(w, "\r%-*s", width, line)
 	}
 }
 

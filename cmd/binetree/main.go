@@ -13,6 +13,7 @@
 //	           binomial-dh, binomial-dd, swing
 //	-root      tree root rank
 //	-workers   worker pool width (0 = one per CPU)
+//	-progress  report live schedule-rendering counts on stderr
 //	-trace-cache  directory of the persistent trace store shared with
 //	           binebench (schedule printing records no traces, so this only
 //	           selects the store the stats report on)
@@ -32,6 +33,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"binetrees/internal/core"
 	"binetrees/internal/harness"
@@ -44,6 +46,7 @@ func main() {
 	bfly := flag.String("butterfly", "", "instead of a tree, print a butterfly: bine-dh, bine-dd, binomial-dh, binomial-dd, swing")
 	root := flag.Int("root", 0, "tree root")
 	workers := flag.Int("workers", 0, "worker pool width for multiple rank counts (0 = one per CPU)")
+	progress := flag.Bool("progress", false, "report live schedule-rendering counts on stderr")
 	traceCache := flag.String("trace-cache", "", "directory of the persistent trace store (shared with binebench)")
 	verbose := flag.Bool("v", false, "print trace-cache statistics to stderr after the run")
 	flag.Parse()
@@ -51,7 +54,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "binetree:", err)
 		os.Exit(1)
 	}
-	err := runAll(os.Stdout, *ps, *kind, *bfly, *root, *workers)
+	err := runAll(os.Stdout, *ps, *kind, *bfly, *root, *workers, *progress)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if *verbose {
 		fmt.Fprintln(os.Stderr, harness.TraceCacheStats())
 	}
@@ -63,7 +69,7 @@ func main() {
 
 // runAll renders every requested rank count: each count builds and formats
 // its schedule on the pool, then the buffers are printed in argument order.
-func runAll(w io.Writer, ps, kindName, bflyName string, root, workers int) error {
+func runAll(w io.Writer, ps, kindName, bflyName string, root, workers int, progress bool) error {
 	fields := strings.Split(ps, ",")
 	counts := make([]int, 0, len(fields))
 	for _, f := range fields {
@@ -73,10 +79,14 @@ func runAll(w io.Writer, ps, kindName, bflyName string, root, workers int) error
 		}
 		counts = append(counts, p)
 	}
+	var done atomic.Int64
 	outs, err := pool.Collect(workers, len(counts), func(i int) (string, error) {
 		var sb strings.Builder
 		if err := run(&sb, counts[i], kindName, bflyName, root); err != nil {
 			return "", err
+		}
+		if progress {
+			fmt.Fprintf(os.Stderr, "\rrendered %d/%d schedules", done.Add(1), len(counts))
 		}
 		return sb.String(), nil
 	})

@@ -22,10 +22,51 @@ import (
 	"time"
 )
 
-// DefaultTimeout bounds how long a Recv waits for a matching message before
-// failing. Collectives are deadlock-free by construction; the timeout turns
-// a bug into a test failure instead of a hang.
+// DefaultTimeout is the base bound on how long a Recv waits for a matching
+// message before failing. Collectives are deadlock-free by construction; the
+// timeout turns a bug into a test failure instead of a hang. Long schedules
+// (thousands of steps over thousands of ranks) legitimately keep individual
+// receives waiting far beyond any flat constant, so the effective deadline
+// is this base plus a budget that scales with the schedule size — see
+// SetBudget on the transports and the Recorder's auto-scaling.
 const DefaultTimeout = 30 * time.Second
+
+// PerMessageBudget is the extra receive allowance granted per message of a
+// schedule's budget: a schedule known (or observed) to move m messages may
+// keep any single receive waiting DefaultTimeout + m×PerMessageBudget. The
+// value is far above the per-message cost of the in-process transport, so a
+// healthy schedule never exhausts it, while a genuinely deadlocked small
+// schedule still fails near the base timeout.
+const PerMessageBudget = 20 * time.Microsecond
+
+// MaxBudget caps the scaled allowance so a deadlocked full-scale run fails
+// within minutes instead of hanging for hours.
+const MaxBudget = 15 * time.Minute
+
+// ScaledTimeout returns the effective receive deadline for a schedule of
+// the given total message count: the DefaultTimeout base plus the capped
+// per-message budget.
+func ScaledTimeout(messages int) time.Duration {
+	return DefaultTimeout + budgetFor(messages)
+}
+
+// budgetFor converts a message count into the capped extra allowance.
+func budgetFor(messages int) time.Duration {
+	b := time.Duration(messages) * PerMessageBudget
+	if b > MaxBudget {
+		b = MaxBudget
+	}
+	return b
+}
+
+// BudgetSetter is implemented by transports whose receive deadline scales
+// with the schedule size. SetBudget grants every receive an allowance of
+// DefaultTimeout (or the SetTimeout override) plus the capped per-message
+// budget for the given count. The Recorder calls it automatically as the
+// recorded schedule grows, so callers rarely need to.
+type BudgetSetter interface {
+	SetBudget(messages int)
+}
 
 // ErrTimeout is returned when a receive waits longer than the fabric's
 // timeout for a matching message.

@@ -208,6 +208,106 @@ func TestMemTimeout(t *testing.T) {
 	}
 }
 
+func TestScaledTimeout(t *testing.T) {
+	if got := ScaledTimeout(0); got != DefaultTimeout {
+		t.Fatalf("zero-message budget: %v, want %v", got, DefaultTimeout)
+	}
+	if got, want := ScaledTimeout(1_000_000), DefaultTimeout+1_000_000*PerMessageBudget; got != want {
+		t.Fatalf("1M-message budget: %v, want %v", got, want)
+	}
+	if got, want := ScaledTimeout(1<<40), DefaultTimeout+MaxBudget; got != want {
+		t.Fatalf("huge budget not capped: %v, want %v", got, want)
+	}
+}
+
+// longSchedule is the deadline-scaling scenario: rank 0 streams `msgs` tiny
+// messages, stalls, then sends a final one that rank 1 has been blocked on
+// all along. The final receive must wait out the stall, which only a budget
+// scaled to the schedule length allows under a short base timeout.
+func longSchedule(f Fabric, msgs int, stall time.Duration) error {
+	return Run(f, func(c Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := c.Send(1, 0, i, []int32{int32(i)}); err != nil {
+					return err
+				}
+			}
+			time.Sleep(stall)
+			return c.Send(1, 1, 0, []int32{-1})
+		}
+		return c.Recv(0, 1, 0, make([]int32, 1))
+	})
+}
+
+// TestDeadlineScalesWithScheduleLength pins the fig11b -full fix: a long
+// schedule under an artificially short base timeout succeeds when the
+// Recorder auto-scales the deadline with the trace length, and the same
+// schedule fails with scaling off (no Recorder, flat base timeout).
+func TestDeadlineScalesWithScheduleLength(t *testing.T) {
+	const msgs = 16384 // budget: 16384 × PerMessageBudget ≈ 327ms
+	base := 20 * time.Millisecond
+	stall := 150 * time.Millisecond
+
+	raw := NewMem(2)
+	raw.SetTimeout(base)
+	err := longSchedule(raw, msgs, stall)
+	raw.Close()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("flat base timeout survived the stall: %v", err)
+	}
+
+	scaled := NewMem(2)
+	scaled.SetTimeout(base)
+	rec := NewRecorder(scaled)
+	defer rec.Close()
+	if err := longSchedule(rec, msgs, stall); err != nil {
+		t.Fatalf("auto-scaled deadline timed out: %v", err)
+	}
+	if got := len(rec.Trace().Records); got != msgs+1 {
+		t.Fatalf("recorded %d messages, want %d", got, msgs+1)
+	}
+}
+
+// TestSetBudgetExtendsBlockedReceive pins the live re-evaluation: a budget
+// raised while the receiver is already blocked extends the wait in place.
+func TestSetBudgetExtendsBlockedReceive(t *testing.T) {
+	f := NewMem(2)
+	defer f.Close()
+	f.SetTimeout(30 * time.Millisecond)
+	err := Run(f, func(c Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(10 * time.Millisecond) // let rank 1 block first
+			f.SetBudget(100_000)              // ≈ 2s allowance
+			time.Sleep(100 * time.Millisecond)
+			return c.Send(1, 0, 0, []int32{7})
+		}
+		return c.Recv(0, 0, 0, make([]int32, 1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPSetBudget(t *testing.T) {
+	f, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.SetTimeout(20 * time.Millisecond)
+	f.SetBudget(100_000) // ≈ 2s allowance
+	err = Run(f, func(c Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(100 * time.Millisecond)
+			return c.Send(1, 0, 0, []int32{7})
+		}
+		return c.Recv(0, 0, 0, make([]int32, 1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMemClosedFabric(t *testing.T) {
 	f := NewMem(2)
 	f.Close()

@@ -41,9 +41,11 @@ func (m *mailbox) put(msg message) error {
 }
 
 // take waits until a message matching (from, step, sub) is available and
-// removes it from the queue.
-func (m *mailbox) take(from, step, sub int, timeout time.Duration) (message, error) {
-	deadline := time.Now().Add(timeout)
+// removes it from the queue. The timeout is a live value, re-evaluated on
+// every wake-up: a budget raised while the receiver is already blocked
+// (the Recorder auto-scales as a schedule grows) extends the wait in place.
+func (m *mailbox) take(from, step, sub int, timeout func() time.Duration) (message, error) {
+	start := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -58,7 +60,7 @@ func (m *mailbox) take(from, step, sub int, timeout time.Duration) (message, err
 				return msg, nil
 			}
 		}
-		remaining := time.Until(deadline)
+		remaining := time.Until(start.Add(timeout()))
 		if remaining <= 0 {
 			return message{}, fmt.Errorf("%w: waiting for (from=%d step=%d sub=%d)", ErrTimeout, from, step, sub)
 		}

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,21 +12,35 @@ import (
 // recording.
 type Mem struct {
 	boxes   []*mailbox
-	timeout time.Duration
+	timeout atomic.Int64 // base receive timeout, nanoseconds
+	budget  atomic.Int64 // scaled schedule allowance, nanoseconds
 }
 
 // NewMem creates an in-process fabric with p ranks.
 func NewMem(p int) *Mem {
-	f := &Mem{boxes: make([]*mailbox, p), timeout: DefaultTimeout}
+	f := &Mem{boxes: make([]*mailbox, p)}
+	f.timeout.Store(int64(DefaultTimeout))
 	for i := range f.boxes {
 		f.boxes[i] = newMailbox()
 	}
 	return f
 }
 
-// SetTimeout adjusts the receive timeout (tests exercising failure paths use
-// short timeouts).
-func (f *Mem) SetTimeout(d time.Duration) { f.timeout = d }
+// SetTimeout adjusts the base receive timeout (tests exercising failure
+// paths use short timeouts). It may be called while receives are blocked.
+func (f *Mem) SetTimeout(d time.Duration) { f.timeout.Store(int64(d)) }
+
+// SetBudget grants every receive the capped per-message allowance for a
+// schedule of the given message count on top of the base timeout. Blocked
+// receives observe a raised budget in place (the deadline is re-derived on
+// every wake-up), which is what lets the Recorder extend deadlines while a
+// long schedule is already in flight.
+func (f *Mem) SetBudget(messages int) { f.budget.Store(int64(budgetFor(messages))) }
+
+// recvTimeout is the live effective deadline: base plus scaled budget.
+func (f *Mem) recvTimeout() time.Duration {
+	return time.Duration(f.timeout.Load() + f.budget.Load())
+}
 
 // Size returns the number of ranks.
 func (f *Mem) Size() int { return len(f.boxes) }
@@ -67,7 +82,7 @@ func (c *memComm) Send(to, step, sub int, data []int32) error {
 }
 
 func (c *memComm) Recv(from, step, sub int, buf []int32) error {
-	msg, err := c.f.boxes[c.rank].take(from, step, sub, c.f.timeout)
+	msg, err := c.f.boxes[c.rank].take(from, step, sub, c.f.recvTimeout)
 	if err != nil {
 		return fmt.Errorf("fabric: rank %d recv: %w", c.rank, err)
 	}

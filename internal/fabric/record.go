@@ -69,17 +69,36 @@ func (t *Trace) MaxMessagesPerSender() int {
 	return max
 }
 
+// budgetEvery is how many captured sends pass between the Recorder's budget
+// raises: frequent enough that the allowance tracks the schedule closely
+// (each interval is worth budgetEvery × PerMessageBudget of extra deadline),
+// rare enough that the raise is free on the send path.
+const budgetEvery = 1024
+
 // Recorder wraps a fabric and captures every Send into a Trace. Receives are
 // not recorded (each message appears once).
+//
+// The schedule length is unknown until the schedule has run, so when the
+// wrapped transport supports deadline budgets (BudgetSetter) the Recorder
+// auto-scales it: as the captured trace grows, every receive's deadline
+// grows with it (DefaultTimeout plus the capped per-message budget for the
+// messages recorded so far). A short schedule that deadlocks still fails
+// near the base timeout; a healthy 8192-rank ring — over a hundred million
+// messages — earns the deadline it needs as it makes progress.
 type Recorder struct {
-	inner Fabric
-	mu    sync.Mutex
-	recs  []Record
+	inner  Fabric
+	budget BudgetSetter // nil when the transport has a fixed deadline
+	mu     sync.Mutex
+	recs   []Record
 }
 
 // NewRecorder wraps inner.
 func NewRecorder(inner Fabric) *Recorder {
-	return &Recorder{inner: inner}
+	r := &Recorder{inner: inner}
+	if bs, ok := inner.(BudgetSetter); ok {
+		r.budget = bs
+	}
+	return r
 }
 
 // Size returns the rank count of the wrapped fabric.
@@ -128,7 +147,11 @@ func (c *recComm) Send(to, step, sub int, data []int32) error {
 	c.rec.recs = append(c.rec.recs, Record{
 		From: c.inner.Rank(), To: to, Step: step, Sub: sub, Elems: len(data),
 	})
+	n := len(c.rec.recs)
 	c.rec.mu.Unlock()
+	if c.rec.budget != nil && n%budgetEvery == 0 {
+		c.rec.budget.SetBudget(n)
+	}
 	return c.inner.Send(to, step, sub, data)
 }
 

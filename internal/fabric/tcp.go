@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,7 +23,8 @@ type TCP struct {
 	boxes     []*mailbox
 	listeners []net.Listener
 	addrs     []string
-	timeout   time.Duration
+	timeout   atomic.Int64 // base receive timeout, nanoseconds
+	budget    atomic.Int64 // scaled schedule allowance, nanoseconds
 
 	mu    sync.Mutex
 	conns map[[2]int]net.Conn // (from, to) → dialed connection
@@ -37,9 +39,9 @@ func NewTCP(p int) (*TCP, error) {
 		boxes:     make([]*mailbox, p),
 		listeners: make([]net.Listener, p),
 		addrs:     make([]string, p),
-		timeout:   DefaultTimeout,
 		conns:     map[[2]int]net.Conn{},
 	}
+	f.timeout.Store(int64(DefaultTimeout))
 	for i := 0; i < p; i++ {
 		f.boxes[i] = newMailbox()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -53,6 +55,19 @@ func NewTCP(p int) (*TCP, error) {
 		go f.acceptLoop(i, ln)
 	}
 	return f, nil
+}
+
+// SetTimeout adjusts the base receive timeout.
+func (f *TCP) SetTimeout(d time.Duration) { f.timeout.Store(int64(d)) }
+
+// SetBudget grants every receive the capped per-message allowance for a
+// schedule of the given message count on top of the base timeout; see
+// (*Mem).SetBudget.
+func (f *TCP) SetBudget(messages int) { f.budget.Store(int64(budgetFor(messages))) }
+
+// recvTimeout is the live effective deadline: base plus scaled budget.
+func (f *TCP) recvTimeout() time.Duration {
+	return time.Duration(f.timeout.Load() + f.budget.Load())
 }
 
 // Size returns the number of ranks.
@@ -187,7 +202,7 @@ func (c *tcpComm) Send(to, step, sub int, data []int32) error {
 }
 
 func (c *tcpComm) Recv(from, step, sub int, buf []int32) error {
-	msg, err := c.f.boxes[c.rank].take(from, step, sub, c.f.timeout)
+	msg, err := c.f.boxes[c.rank].take(from, step, sub, c.f.recvTimeout)
 	if err != nil {
 		return fmt.Errorf("fabric: rank %d recv: %w", c.rank, err)
 	}

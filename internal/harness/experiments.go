@@ -4,69 +4,104 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 
 	"binetrees/internal/alloc"
 	"binetrees/internal/coll"
 	"binetrees/internal/core"
 	"binetrees/internal/fabric"
 	"binetrees/internal/netsim"
-	"binetrees/internal/pool"
 	"binetrees/internal/stats"
 	"binetrees/internal/topology"
 )
+
+// Every experiment below compiles to a plan (see graph.go): recording and
+// evaluation cells become tasks writing into index-addressed slots, and the
+// artifact renders serially from those slots. The public driver functions
+// drain their own plan on a private pool; RunAll shards all plans' tasks
+// across one process-wide pool instead.
 
 // Fig1 reproduces the motivating example of Fig. 1: global-link bytes of a
 // broadcast over eight nodes on a 2:1 oversubscribed fat tree with two
 // nodes per leaf, for the distance-doubling (Open MPI), distance-halving
 // (MPICH) and Bine trees.
 func Fig1(w io.Writer) error {
+	p, err := planFig1()
+	return runPlan(w, p, err, Options{})
+}
+
+func planFig1() (*plan, error) {
 	const p, n = 8, 1 // eight nodes, unit vector; results are per n bytes
 	groupOf := []int{0, 0, 1, 1, 2, 2, 3, 3}
-	fmt.Fprintln(w, "Fig. 1 — broadcast over 8 nodes, 2 nodes per leaf switch (bytes on global links, per n bytes of vector):")
-	for _, k := range []core.Kind{core.BinomialDD, core.BinomialDH, core.BineDH} {
-		algoName := map[core.Kind]string{
-			core.BinomialDD: "distance-doubling binomial (Open MPI)",
-			core.BinomialDH: "distance-halving binomial (MPICH)",
-			core.BineDH:     "distance-halving Bine",
-		}[k]
+	kinds := []core.Kind{core.BinomialDD, core.BinomialDH, core.BineDH}
+	trees := make([]*core.Tree, len(kinds))
+	for i, k := range kinds {
 		tree, err := core.NewTree(k, p, 0)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		tr, err := cachedNamedTrace("tree-bcast", k.String(), fmt.Sprintf("p=%d/n=%d", p, n), func() (*fabric.Trace, error) {
-			rec := fabric.NewRecorder(fabric.NewMem(p))
-			defer rec.Close()
-			if err := fabric.Run(rec, func(c fabric.Comm) error {
-				return coll.Bcast(c, tree, make([]int32, n))
-			}); err != nil {
-				return nil, err
-			}
-			return rec.Trace(), nil
-		})
-		if err != nil {
-			return err
-		}
-		global, total := netsim.GlobalTraffic(tr, groupOf)
-		fmt.Fprintf(w, "  %-42s %dn global of %dn total\n", algoName, global, total)
+		trees[i] = tree
 	}
-	fmt.Fprintln(w, "  paper: 6n (distance doubling) vs 3n (distance halving)")
-	return nil
+	traces := make([]*fabric.Trace, len(kinds))
+	tasks := make([]task, len(kinds))
+	for i := range kinds {
+		i := i
+		tasks[i] = task{system: systemMisc, run: func() error {
+			tr, err := cachedNamedTrace("tree-bcast", kinds[i].String(), fmt.Sprintf("p=%d/n=%d", p, n), func() (*fabric.Trace, error) {
+				rec := fabric.NewRecorder(fabric.NewMem(p))
+				defer rec.Close()
+				if err := fabric.Run(rec, func(c fabric.Comm) error {
+					return coll.Bcast(c, trees[i], make([]int32, n))
+				}); err != nil {
+					return nil, err
+				}
+				return rec.Trace(), nil
+			})
+			if err != nil {
+				return err
+			}
+			traces[i] = tr
+			return nil
+		}}
+	}
+	render := func(w io.Writer) error {
+		fmt.Fprintln(w, "Fig. 1 — broadcast over 8 nodes, 2 nodes per leaf switch (bytes on global links, per n bytes of vector):")
+		for i, k := range kinds {
+			algoName := map[core.Kind]string{
+				core.BinomialDD: "distance-doubling binomial (Open MPI)",
+				core.BinomialDH: "distance-halving binomial (MPICH)",
+				core.BineDH:     "distance-halving Bine",
+			}[k]
+			global, total := netsim.GlobalTraffic(traces[i], groupOf)
+			fmt.Fprintf(w, "  %-42s %dn global of %dn total\n", algoName, global, total)
+		}
+		fmt.Fprintln(w, "  paper: 6n (distance doubling) vs 3n (distance halving)")
+		return nil
+	}
+	return &plan{tasks: tasks, render: render}, nil
 }
 
 // Eq2 tabulates the per-step modular distances of Bine vs binomial
 // schedules and their ratio, illustrating the 2/3 bound of Sec. 2.4.1.
 func Eq2(w io.Writer) error {
-	p := 1024
-	bine := core.MustButterfly(core.BflyBineDH, p)
-	binom := core.MustButterfly(core.BflyBinomialDH, p)
-	fmt.Fprintf(w, "Eq. 2 — per-step modular distance, p=%d (bound: ratio → 2/3 ≈ 0.667):\n", p)
-	fmt.Fprintf(w, "  %-6s %10s %10s %8s\n", "step", "binomial", "bine", "ratio")
-	for i := 0; i < bine.S; i++ {
-		db, dn := bine.ModDistAt(i), binom.ModDistAt(i)
-		fmt.Fprintf(w, "  %-6d %10d %10d %8.3f\n", i, dn, db, float64(db)/float64(dn))
+	p, err := planEq2()
+	return runPlan(w, p, err, Options{})
+}
+
+func planEq2() (*plan, error) {
+	// Pure schedule arithmetic: no cells, everything happens at render.
+	render := func(w io.Writer) error {
+		p := 1024
+		bine := core.MustButterfly(core.BflyBineDH, p)
+		binom := core.MustButterfly(core.BflyBinomialDH, p)
+		fmt.Fprintf(w, "Eq. 2 — per-step modular distance, p=%d (bound: ratio → 2/3 ≈ 0.667):\n", p)
+		fmt.Fprintf(w, "  %-6s %10s %10s %8s\n", "step", "binomial", "bine", "ratio")
+		for i := 0; i < bine.S; i++ {
+			db, dn := bine.ModDistAt(i), binom.ModDistAt(i)
+			fmt.Fprintf(w, "  %-6d %10d %10d %8.3f\n", i, dn, db, float64(db)/float64(dn))
+		}
+		return nil
 	}
-	return nil
+	return &plan{render: render}, nil
 }
 
 // Fig5 reproduces the allocation study of Sec. 2.4.2: synthetic fragmented
@@ -75,16 +110,22 @@ func Eq2(w io.Writer) error {
 // binomial allreduce with the same distance ordering, bucketed by node
 // count.
 func Fig5(w io.Writer, opts Options) error {
+	p, err := planFig5(opts)
+	return runPlan(w, p, err, opts)
+}
+
+func planFig5(opts Options) (*plan, error) {
 	type sysCase struct {
 		name    string
+		key     string
 		machine alloc.Machine
 		jobs    int
 		maxP    int
 		seed    int64
 	}
 	cases := []sysCase{
-		{"Leonardo", alloc.Machine{Groups: 23, NodesPerGroup: 180}, 1116, 256, 3},
-		{"LUMI", alloc.Machine{Groups: 24, NodesPerGroup: 124}, 1914, 2048, 4},
+		{"Leonardo", "leonardo", alloc.Machine{Groups: 23, NodesPerGroup: 180}, 1116, 256, 3},
+		{"LUMI", "lumi", alloc.Machine{Groups: 24, NodesPerGroup: 124}, 1914, 2048, 4},
 	}
 	if opts.Quick {
 		for i := range cases {
@@ -92,7 +133,7 @@ func Fig5(w io.Writer, opts Options) error {
 			cases[i].maxP = 256
 		}
 	}
-	traces := map[int][2]*fabric.Trace{} // p → {bine, binomial}
+	kinds := [2]core.ButterflyKind{core.BflyBineDD, core.BflyBinomialDD}
 	allreduceTrace := func(kind core.ButterflyKind, p int) (*fabric.Trace, error) {
 		return cachedNamedTrace("bfly-allreduce", kind.String(), fmt.Sprintf("p=%d/n=%d", p, p), func() (*fabric.Trace, error) {
 			b, err := core.NewButterfly(kind, p)
@@ -109,64 +150,85 @@ func Fig5(w io.Writer, opts Options) error {
 			return rec.Trace(), nil
 		})
 	}
-	fmt.Fprintln(w, "Fig. 5 — global-traffic reduction of Bine vs binomial allreduce across synthetic Slurm-like allocations")
-	fmt.Fprintln(w, "(boxplots per job size; theoretical bound 33%, Eq. 2):")
-	for _, sc := range cases {
+	// The workload replay is deterministic, so the job lists — and from
+	// them every needed (kind, rank count) recording — are enumerable at
+	// plan time. Each case records only the rank counts no earlier case
+	// needed; the recorded traces land in per-case index-addressed slots.
+	type recSlot struct {
+		p     int
+		cases [2]*fabric.Trace // recorded {bine, binomial} pair
+	}
+	caseJobs := make([][]alloc.Job, len(cases))
+	caseMissing := make([][]*recSlot, len(cases))
+	seen := map[int]bool{}
+	var tasks []task
+	for ci, sc := range cases {
 		wl := FragmentingWorkload(sc.machine, sc.maxP, sc.seed)
 		wl.Run(800) // reach steady-state fragmentation before sampling
-		jobs := wl.Run(sc.jobs)
-		// Record the two butterfly traces of every job size this case needs
-		// on the worker pool before the serial scoring pass; each (kind,
-		// rank count) recording is its own job.
-		var missing []int
-		for _, job := range jobs {
+		caseJobs[ci] = wl.Run(sc.jobs)
+		for _, job := range caseJobs[ci] {
 			p := len(job.Nodes)
 			if p < 16 || p&(p-1) != 0 {
 				continue // the study buckets power-of-two jobs ≥ 16 nodes
 			}
-			if _, ok := traces[p]; !ok {
-				traces[p] = [2]*fabric.Trace{}
-				missing = append(missing, p)
-			}
-		}
-		kinds := [2]core.ButterflyKind{core.BflyBineDD, core.BflyBinomialDD}
-		recorded, err := pool.Collect(opts.Workers, 2*len(missing), func(i int) (*fabric.Trace, error) {
-			return allreduceTrace(kinds[i%2], missing[i/2])
-		})
-		if err != nil {
-			return err
-		}
-		for i, p := range missing {
-			traces[p] = [2]*fabric.Trace{recorded[2*i], recorded[2*i+1]}
-		}
-		buckets := map[int][]float64{}
-		for _, job := range jobs {
-			p := len(job.Nodes)
-			if p < 16 || p&(p-1) != 0 {
+			if seen[p] {
 				continue
 			}
-			tr := traces[p]
-			bine, _ := netsim.GlobalTraffic(tr[0], job.Groups)
-			binom, _ := netsim.GlobalTraffic(tr[1], job.Groups)
-			if binom == 0 {
-				continue // single-group job: no global traffic at all
+			seen[p] = true
+			slot := &recSlot{p: p}
+			caseMissing[ci] = append(caseMissing[ci], slot)
+			for ki := range kinds {
+				ki := ki
+				slot := slot
+				tasks = append(tasks, task{system: sc.key, run: func() error {
+					tr, err := allreduceTrace(kinds[ki], slot.p)
+					if err != nil {
+						return err
+					}
+					slot.cases[ki] = tr
+					return nil
+				}})
 			}
-			buckets[p] = append(buckets[p], 100*(1-float64(bine)/float64(binom)))
-		}
-		fmt.Fprintf(w, "\n  %s (%d jobs placed):\n", sc.name, len(jobs))
-		fmt.Fprintf(w, "  %-7s %-52s %s\n", "nodes", "reduction %  [-20 ... 40]", "summary")
-		var ps []int
-		for p := range buckets {
-			ps = append(ps, p)
-		}
-		sort.Ints(ps)
-		for _, p := range ps {
-			box := stats.NewBox(buckets[p])
-			fmt.Fprintf(w, "  %-7d %-52s %s\n", p, box.Render(-20, 40, 52), box)
 		}
 	}
-	fmt.Fprintln(w, "\n  paper: median reductions grow with job size, bounded by 33%; small jobs can regress")
-	return nil
+	render := func(w io.Writer) error {
+		fmt.Fprintln(w, "Fig. 5 — global-traffic reduction of Bine vs binomial allreduce across synthetic Slurm-like allocations")
+		fmt.Fprintln(w, "(boxplots per job size; theoretical bound 33%, Eq. 2):")
+		traces := map[int][2]*fabric.Trace{} // p → {bine, binomial}
+		for ci, sc := range cases {
+			for _, slot := range caseMissing[ci] {
+				traces[slot.p] = slot.cases
+			}
+			buckets := map[int][]float64{}
+			for _, job := range caseJobs[ci] {
+				p := len(job.Nodes)
+				if p < 16 || p&(p-1) != 0 {
+					continue
+				}
+				tr := traces[p]
+				bine, _ := netsim.GlobalTraffic(tr[0], job.Groups)
+				binom, _ := netsim.GlobalTraffic(tr[1], job.Groups)
+				if binom == 0 {
+					continue // single-group job: no global traffic at all
+				}
+				buckets[p] = append(buckets[p], 100*(1-float64(bine)/float64(binom)))
+			}
+			fmt.Fprintf(w, "\n  %s (%d jobs placed):\n", sc.name, len(caseJobs[ci]))
+			fmt.Fprintf(w, "  %-7s %-52s %s\n", "nodes", "reduction %  [-20 ... 40]", "summary")
+			var ps []int
+			for p := range buckets {
+				ps = append(ps, p)
+			}
+			sort.Ints(ps)
+			for _, p := range ps {
+				box := stats.NewBox(buckets[p])
+				fmt.Fprintf(w, "  %-7d %-52s %s\n", p, box.Render(-20, 40, 52), box)
+			}
+		}
+		fmt.Fprintln(w, "\n  paper: median reductions grow with job size, bounded by 33%; small jobs can regress")
+		return nil
+	}
+	return &plan{tasks: tasks, render: render}, nil
 }
 
 // TableBinomial reproduces the per-system Bine-vs-binomial comparison
@@ -174,51 +236,66 @@ func Fig5(w io.Writer, opts Options) error {
 // configurations won/lost against the best binomial baseline, the
 // average/max gain and drop, and the average/max global-traffic reduction.
 func TableBinomial(w io.Writer, sys System, opts Options) error {
+	p, err := planTableBinomial(sys, opts)
+	return runPlan(w, p, err, opts)
+}
+
+func planTableBinomial(sys System, opts Options) (*plan, error) {
 	counts := opts.nodeCounts(sys)
 	sizes := opts.sizes()
-	fmt.Fprintf(w, "Bine vs binomial trees on %s (nodes %v, %d vector sizes)\n", sys.Name, counts, len(sizes))
-	fmt.Fprintf(w, "  %-15s %6s %15s %6s %15s %18s\n",
-		"collective", "%win", "avg/max gain", "%loss", "avg/max drop", "avg/max traffic red")
-	for _, collective := range coll.Collectives {
-		res, err := sweepCollective(sys, collective, counts, sizes, opts.Workers)
+	var tasks []task
+	finishes := make([]func() *sweepResult, len(coll.Collectives))
+	for ci, collective := range coll.Collectives {
+		ts, finish, err := planSweep(sys, collective, counts, sizes)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		bineNames := res.names(isBine)
-		binomNames := res.names(isBinomial)
-		var bineTimes, binomTimes, reds []float64
-		for _, p := range counts {
-			for _, size := range sizes {
-				k := cellKey{P: p, Size: size}
-				_, bc, ok1 := res.best(bineNames, k)
-				_, nc, ok2 := res.best(binomNames, k)
-				if !ok1 || !ok2 {
-					continue
-				}
-				bineTimes = append(bineTimes, bc.Time)
-				binomTimes = append(binomTimes, nc.Time)
-				if nc.Global > 0 {
-					reds = append(reds, 100*(1-bc.Global/nc.Global))
-				}
-			}
-		}
-		wl := stats.NewWinLoss(bineTimes, binomTimes)
-		var avgRed, maxRed float64
-		if len(reds) > 0 {
-			sum := 0.0
-			for _, r := range reds {
-				sum += r
-				if r > maxRed {
-					maxRed = r
-				}
-			}
-			avgRed = sum / float64(len(reds))
-		}
-		fmt.Fprintf(w, "  %-15s %5.0f%% %6.0f%%/%5.0f%% %5.0f%% %6.0f%%/%5.0f%% %8.0f%%/%7.0f%%\n",
-			collective, wl.WinPct, wl.AvgGain, wl.MaxGain,
-			wl.LossPct, wl.AvgDrop, wl.MaxDrop, avgRed, maxRed)
+		tasks = append(tasks, ts...)
+		finishes[ci] = finish
 	}
-	return nil
+	render := func(w io.Writer) error {
+		fmt.Fprintf(w, "Bine vs binomial trees on %s (nodes %v, %d vector sizes)\n", sys.Name, counts, len(sizes))
+		fmt.Fprintf(w, "  %-15s %6s %15s %6s %15s %18s\n",
+			"collective", "%win", "avg/max gain", "%loss", "avg/max drop", "avg/max traffic red")
+		for ci, collective := range coll.Collectives {
+			res := finishes[ci]()
+			bineNames := res.names(isBine)
+			binomNames := res.names(isBinomial)
+			var bineTimes, binomTimes, reds []float64
+			for _, p := range counts {
+				for _, size := range sizes {
+					k := cellKey{P: p, Size: size}
+					_, bc, ok1 := res.best(bineNames, k)
+					_, nc, ok2 := res.best(binomNames, k)
+					if !ok1 || !ok2 {
+						continue
+					}
+					bineTimes = append(bineTimes, bc.Time)
+					binomTimes = append(binomTimes, nc.Time)
+					if nc.Global > 0 {
+						reds = append(reds, 100*(1-bc.Global/nc.Global))
+					}
+				}
+			}
+			wl := stats.NewWinLoss(bineTimes, binomTimes)
+			var avgRed, maxRed float64
+			if len(reds) > 0 {
+				sum := 0.0
+				for _, r := range reds {
+					sum += r
+					if r > maxRed {
+						maxRed = r
+					}
+				}
+				avgRed = sum / float64(len(reds))
+			}
+			fmt.Fprintf(w, "  %-15s %5.0f%% %6.0f%%/%5.0f%% %5.0f%% %6.0f%%/%5.0f%% %8.0f%%/%7.0f%%\n",
+				collective, wl.WinPct, wl.AvgGain, wl.MaxGain,
+				wl.LossPct, wl.AvgDrop, wl.MaxDrop, avgRed, maxRed)
+		}
+		return nil
+	}
+	return &plan{tasks: tasks, render: render}, nil
 }
 
 // familyLetter maps baseline algorithms to the single letters of the
@@ -243,146 +320,183 @@ func familyLetter(res *sweepResult, name string) string {
 // size) cell of the allreduce sweep, either the Bine speedup over the best
 // baseline (when Bine wins) or the letter of the winning baseline.
 func HeatmapAllreduce(w io.Writer, sys System, opts Options) error {
+	p, err := planHeatmapAllreduce(sys, opts)
+	return runPlan(w, p, err, opts)
+}
+
+func planHeatmapAllreduce(sys System, opts Options) (*plan, error) {
 	counts := opts.nodeCounts(sys)
 	sizes := opts.sizes()
-	res, err := sweepCollective(sys, coll.CAllreduce, counts, sizes, opts.Workers)
+	tasks, finish, err := planSweep(sys, coll.CAllreduce, counts, sizes)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintf(w, "Allreduce heatmap on %s (cell = Bine speedup vs best baseline, or winning baseline letter;\n", sys.Name)
-	fmt.Fprintln(w, " N = binomial, R = ring, D = other):")
-	fmt.Fprintf(w, "  %-9s", "")
-	for _, p := range counts {
-		fmt.Fprintf(w, " %6d", p)
-	}
-	fmt.Fprintln(w)
-	bineNames, baseNames := res.names(isBine), res.names(isBaseline)
-	bineWins := 0
-	cells := 0
-	for _, size := range sizes {
-		fmt.Fprintf(w, "  %-9s", SizeLabel(size))
+	render := func(w io.Writer) error {
+		res := finish()
+		fmt.Fprintf(w, "Allreduce heatmap on %s (cell = Bine speedup vs best baseline, or winning baseline letter;\n", sys.Name)
+		fmt.Fprintln(w, " N = binomial, R = ring, D = other):")
+		fmt.Fprintf(w, "  %-9s", "")
 		for _, p := range counts {
-			k := cellKey{P: p, Size: size}
-			_, bc, ok1 := res.best(bineNames, k)
-			bn, nc, ok2 := res.best(baseNames, k)
-			switch {
-			case !ok1 || !ok2:
-				fmt.Fprintf(w, " %6s", "-")
-			case bc.Time <= nc.Time:
-				bineWins++
-				cells++
-				fmt.Fprintf(w, " %6.2f", nc.Time/bc.Time)
-			default:
-				cells++
-				fmt.Fprintf(w, " %6s", familyLetter(res, bn))
-			}
+			fmt.Fprintf(w, " %6d", p)
 		}
 		fmt.Fprintln(w)
+		bineNames, baseNames := res.names(isBine), res.names(isBaseline)
+		bineWins := 0
+		cells := 0
+		for _, size := range sizes {
+			fmt.Fprintf(w, "  %-9s", SizeLabel(size))
+			for _, p := range counts {
+				k := cellKey{P: p, Size: size}
+				_, bc, ok1 := res.best(bineNames, k)
+				bn, nc, ok2 := res.best(baseNames, k)
+				switch {
+				case !ok1 || !ok2:
+					fmt.Fprintf(w, " %6s", "-")
+				case bc.Time <= nc.Time:
+					bineWins++
+					cells++
+					fmt.Fprintf(w, " %6.2f", nc.Time/bc.Time)
+				default:
+					cells++
+					fmt.Fprintf(w, " %6s", familyLetter(res, bn))
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		if cells > 0 {
+			fmt.Fprintf(w, "  Bine best in %d/%d cells (%.0f%%)\n", bineWins, cells, 100*float64(bineWins)/float64(cells))
+		}
+		return nil
 	}
-	if cells > 0 {
-		fmt.Fprintf(w, "  Bine best in %d/%d cells (%.0f%%)\n", bineWins, cells, 100*float64(bineWins)/float64(cells))
-	}
-	return nil
+	return &plan{tasks: tasks, render: render}, nil
 }
 
 // Boxplots reproduces Figs. 9b/10b/11a: for every collective, the
 // distribution of Bine's improvement over the best baseline in the
 // configurations where Bine wins, plus the win percentage.
 func Boxplots(w io.Writer, sys System, opts Options) error {
+	p, err := planBoxplots(sys, opts)
+	return runPlan(w, p, err, opts)
+}
+
+func planBoxplots(sys System, opts Options) (*plan, error) {
 	counts := opts.nodeCounts(sys)
 	sizes := opts.sizes()
-	fmt.Fprintf(w, "Per-collective improvement over the best baseline on %s (cells where Bine wins):\n", sys.Name)
-	fmt.Fprintf(w, "  %-15s %-6s %-46s %s\n", "collective", "win%", "improvement %  [0 ... 100]", "summary")
-	for _, collective := range coll.Collectives {
-		res, err := sweepCollective(sys, collective, counts, sizes, opts.Workers)
+	var tasks []task
+	finishes := make([]func() *sweepResult, len(coll.Collectives))
+	for ci, collective := range coll.Collectives {
+		ts, finish, err := planSweep(sys, collective, counts, sizes)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		bineNames, baseNames := res.names(isBine), res.names(isBaseline)
-		var improvements []float64
-		cells := 0
-		for _, p := range counts {
-			for _, size := range sizes {
-				k := cellKey{P: p, Size: size}
-				_, bc, ok1 := res.best(bineNames, k)
-				_, nc, ok2 := res.best(baseNames, k)
-				if !ok1 || !ok2 {
-					continue
-				}
-				cells++
-				if bc.Time < nc.Time {
-					improvements = append(improvements, 100*(nc.Time/bc.Time-1))
+		tasks = append(tasks, ts...)
+		finishes[ci] = finish
+	}
+	render := func(w io.Writer) error {
+		fmt.Fprintf(w, "Per-collective improvement over the best baseline on %s (cells where Bine wins):\n", sys.Name)
+		fmt.Fprintf(w, "  %-15s %-6s %-46s %s\n", "collective", "win%", "improvement %  [0 ... 100]", "summary")
+		for ci, collective := range coll.Collectives {
+			res := finishes[ci]()
+			bineNames, baseNames := res.names(isBine), res.names(isBaseline)
+			var improvements []float64
+			cells := 0
+			for _, p := range counts {
+				for _, size := range sizes {
+					k := cellKey{P: p, Size: size}
+					_, bc, ok1 := res.best(bineNames, k)
+					_, nc, ok2 := res.best(baseNames, k)
+					if !ok1 || !ok2 {
+						continue
+					}
+					cells++
+					if bc.Time < nc.Time {
+						improvements = append(improvements, 100*(nc.Time/bc.Time-1))
+					}
 				}
 			}
+			box := stats.NewBox(improvements)
+			win := 0.0
+			if cells > 0 {
+				win = 100 * float64(len(improvements)) / float64(cells)
+			}
+			fmt.Fprintf(w, "  %-15s %4.0f%%  %-46s %s\n", collective, win, box.Render(0, 100, 46), box)
 		}
-		box := stats.NewBox(improvements)
-		win := 0.0
-		if cells > 0 {
-			win = 100 * float64(len(improvements)) / float64(cells)
-		}
-		fmt.Fprintf(w, "  %-15s %4.0f%%  %-46s %s\n", collective, win, box.Render(0, 100, 46), box)
+		return nil
 	}
-	return nil
+	return &plan{tasks: tasks, render: render}, nil
 }
 
 // Fig14 reproduces Appendix B: which non-contiguous-data strategy wins each
 // (node count, vector size) cell of the allgather sweep on the LUMI-like
 // system, and its gain over the binomial butterfly.
 func Fig14(w io.Writer, opts Options) error {
+	p, err := planFig14(opts)
+	return runPlan(w, p, err, opts)
+}
+
+func planFig14(opts Options) (*plan, error) {
 	sys := LUMI()
 	counts := opts.nodeCounts(sys)
 	sizes := opts.sizes()
-	res, err := sweepCollective(sys, coll.CAllgather, counts, sizes, opts.Workers)
+	tasks, finish, err := planSweep(sys, coll.CAllgather, counts, sizes)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	strategies := map[string]string{
-		"bine-block":     "B",
-		"bine-permute":   "P",
-		"bine-send":      "S",
-		"bine-two-trans": "T",
-	}
-	var stratNames []string
-	for name := range strategies {
-		stratNames = append(stratNames, name)
-	}
-	sort.Strings(stratNames)
-	fmt.Fprintln(w, "Fig. 14 — best non-contiguous-data strategy per allgather cell on LUMI")
-	fmt.Fprintln(w, "(B = block-by-block, P = permute, S = send, T = two transmissions; value = gain vs recursive doubling):")
-	fmt.Fprintf(w, "  %-9s", "")
-	for _, p := range counts {
-		fmt.Fprintf(w, " %8d", p)
-	}
-	fmt.Fprintln(w)
-	for _, size := range sizes {
-		fmt.Fprintf(w, "  %-9s", SizeLabel(size))
+	render := func(w io.Writer) error {
+		res := finish()
+		strategies := map[string]string{
+			"bine-block":     "B",
+			"bine-permute":   "P",
+			"bine-send":      "S",
+			"bine-two-trans": "T",
+		}
+		var stratNames []string
+		for name := range strategies {
+			stratNames = append(stratNames, name)
+		}
+		sort.Strings(stratNames)
+		fmt.Fprintln(w, "Fig. 14 — best non-contiguous-data strategy per allgather cell on LUMI")
+		fmt.Fprintln(w, "(B = block-by-block, P = permute, S = send, T = two transmissions; value = gain vs recursive doubling):")
+		fmt.Fprintf(w, "  %-9s", "")
 		for _, p := range counts {
-			k := cellKey{P: p, Size: size}
-			name, bc, ok1 := res.best(stratNames, k)
-			nc, ok2 := res.Cells["recursive-doubling"][k]
-			if !ok1 || !ok2 {
-				fmt.Fprintf(w, " %8s", "-")
-				continue
-			}
-			fmt.Fprintf(w, " %s %5.2fx", strategies[name], nc.Time/bc.Time)
+			fmt.Fprintf(w, " %8d", p)
 		}
 		fmt.Fprintln(w)
+		for _, size := range sizes {
+			fmt.Fprintf(w, "  %-9s", SizeLabel(size))
+			for _, p := range counts {
+				k := cellKey{P: p, Size: size}
+				name, bc, ok1 := res.best(stratNames, k)
+				nc, ok2 := res.Cells["recursive-doubling"][k]
+				if !ok1 || !ok2 {
+					fmt.Fprintf(w, " %8s", "-")
+					continue
+				}
+				fmt.Fprintf(w, " %s %5.2fx", strategies[name], nc.Time/bc.Time)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, "  paper: permute wins small vectors, send takes over at scale, block-by-block and")
+		fmt.Fprintln(w, "  two-transmissions split the large-vector regime")
+		return nil
 	}
-	fmt.Fprintln(w, "  paper: permute wins small vectors, send takes over at scale, block-by-block and")
-	fmt.Fprintln(w, "  two-transmissions split the large-vector regime")
-	return nil
+	return &plan{tasks: tasks, render: render}, nil
 }
 
 // Fig11b reproduces the Fugaku evaluation (Sec. 5.4): Bine torus
 // collectives against bucket, ring and butterfly baselines over the paper's
 // job shapes, as per-collective improvement boxplots.
 func Fig11b(w io.Writer, opts Options) error {
+	p, err := planFig11b(opts)
+	return runPlan(w, p, err, opts)
+}
+
+func planFig11b(opts Options) (*plan, error) {
 	shapes := FugakuShapes()
 	if opts.Quick {
 		shapes = [][]int{{2, 2, 2}, {4, 4, 4}, {8, 2}}
 	}
 	sizes := opts.sizes()
-	fmt.Fprintln(w, "Fugaku (6D-torus model) — Bine improvement over the best baseline per collective:")
 	type group struct {
 		collective coll.Collective
 		bine       []torusAlgo
@@ -419,15 +533,16 @@ func Fig11b(w io.Writer, opts Options) error {
 		tors[i] = core.MustTorus(dims...)
 		topo, err := FugakuTopology(dims)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		topos[i] = topo
 	}
-	// One eval job per (collective group, shape, algorithm), appended in the
-	// serial evaluation order: a group's Bine candidates (torus then flat)
-	// followed by its baselines (torus then flat). Each job records — or
-	// fetches from the trace cache — its schedule and scores every size;
-	// results land in the job's own slot of an index-addressed slice.
+	// One eval cell per (collective group, shape, algorithm), appended in
+	// the serial evaluation order: a group's Bine candidates (torus then
+	// flat) followed by its baselines (torus then flat). Each cell records
+	// — or fetches from the trace cache — its schedule and scores every
+	// size; results land in the cell's own slot of an index-addressed
+	// slice.
 	type evalJob struct {
 		group, shape int
 		torus        *torusAlgo // nil for registry (flat) algorithms
@@ -451,114 +566,123 @@ func Fig11b(w io.Writer, opts Options) error {
 			}
 		}
 	}
-	outs, err := pool.Collect(opts.Workers, len(jobs), func(i int) (map[int64]float64, error) {
-		j := jobs[i]
-		tor, topo := tors[j.shape], topos[j.shape]
-		reduces := groups[j.group].collective.Reduces()
-		if j.torus != nil {
-			tr, n, err := cachedTorusTrace(*j.torus, tor, 0)
-			if err != nil {
-				return nil, err
+	outs := make([]map[int64]float64, len(jobs))
+	tasks := make([]task, len(jobs))
+	for i := range jobs {
+		i := i
+		tasks[i] = task{system: systemFugaku, run: func() error {
+			j := jobs[i]
+			tor, topo := tors[j.shape], topos[j.shape]
+			reduces := groups[j.group].collective.Reduces()
+			if j.torus != nil {
+				tr, n, err := cachedTorusTrace(*j.torus, tor, 0)
+				if err != nil {
+					return err
+				}
+				rs, err := evaluateOnTorusSizes(tr, n, topo, sizes, reduces, j.torus.Overlap)
+				if err != nil {
+					return err
+				}
+				out := make(map[int64]float64, len(sizes))
+				for si, size := range sizes {
+					out[size] = rs[si].Time
+				}
+				outs[i] = out
+				return nil
 			}
-			rs, err := evaluateOnTorusSizes(tr, n, topo, sizes, reduces, j.torus.Overlap)
+			algo, ok := coll.Find(registry, groups[j.group].collective, j.flat)
+			if !ok {
+				return fmt.Errorf("%v/%s not registered", groups[j.group].collective, j.flat)
+			}
+			if algo.Pow2Only {
+				if _, pow2 := core.Log2(tor.P()); !pow2 {
+					return nil // skipped: a nil slot folds as no result
+				}
+			}
+			tr, err := cachedTrace(algo, tor.P(), 0)
 			if err != nil {
-				return nil, err
+				return err
+			}
+			placement := make([]int, tor.P())
+			for r := range placement {
+				placement[r] = r
+			}
+			elemBytes := make([]float64, len(sizes))
+			copyBytes := make([]float64, len(sizes))
+			for si, size := range sizes {
+				elemBytes[si] = float64(size) / float64(tor.P())
+				copyBytes[si] = algo.CopyFactor * float64(size)
+			}
+			rs, err := netsim.EvaluateSizes(tr, topo, FugakuParams(), netsim.Eval{
+				Placement:   placement,
+				Reduces:     reduces,
+				Overlap:     algo.Overlap,
+				CopyBytesAt: copyBytes,
+			}, elemBytes)
+			if err != nil {
+				return err
 			}
 			out := make(map[int64]float64, len(sizes))
 			for si, size := range sizes {
 				out[size] = rs[si].Time
 			}
-			return out, nil
-		}
-		algo, ok := coll.Find(registry, groups[j.group].collective, j.flat)
-		if !ok {
-			return nil, fmt.Errorf("harness: %v/%s not registered", groups[j.group].collective, j.flat)
-		}
-		if algo.Pow2Only {
-			if _, pow2 := core.Log2(tor.P()); !pow2 {
-				return nil, nil // skipped: a nil slot folds as no result
-			}
-		}
-		tr, err := cachedTrace(algo, tor.P(), 0)
-		if err != nil {
-			return nil, err
-		}
-		placement := make([]int, tor.P())
-		for r := range placement {
-			placement[r] = r
-		}
-		elemBytes := make([]float64, len(sizes))
-		copyBytes := make([]float64, len(sizes))
-		for si, size := range sizes {
-			elemBytes[si] = float64(size) / float64(tor.P())
-			copyBytes[si] = algo.CopyFactor * float64(size)
-		}
-		rs, err := netsim.EvaluateSizes(tr, topo, FugakuParams(), netsim.Eval{
-			Placement:   placement,
-			Reduces:     reduces,
-			Overlap:     algo.Overlap,
-			CopyBytesAt: copyBytes,
-		}, elemBytes)
-		if err != nil {
-			return nil, err
-		}
-		out := make(map[int64]float64, len(sizes))
-		for si, size := range sizes {
-			out[size] = rs[si].Time
-		}
-		return out, nil
-	})
-	if err != nil {
-		return err
+			outs[i] = out
+			return nil
+		}}
 	}
-	// Fold and render serially in the original (group, shape) order; min is
-	// order-independent, so the boxplots match the serial engine exactly.
-	fold := func(dst, src map[int64]float64) {
-		for size, t := range src {
-			if cur, ok := dst[size]; !ok || t < cur {
-				dst[size] = t
-			}
-		}
-	}
-	jobIdx := 0
-	for _, g := range groups {
-		var improvements []float64
-		cells, wins := 0, 0
-		for range shapes {
-			bineTimes := map[int64]float64{}
-			baseTimes := map[int64]float64{}
-			nBine := len(g.bine) + len(g.flatBine)
-			nAll := nBine + len(g.base) + len(g.flatBase)
-			for k := 0; k < nAll; k++ {
-				if k < nBine {
-					fold(bineTimes, outs[jobIdx])
-				} else {
-					fold(baseTimes, outs[jobIdx])
-				}
-				jobIdx++
-			}
-			for _, size := range sizes {
-				bt, ok1 := bineTimes[size]
-				nt, ok2 := baseTimes[size]
-				if !ok1 || !ok2 {
-					continue
-				}
-				cells++
-				if bt < nt {
-					wins++
-					improvements = append(improvements, 100*(nt/bt-1))
+	render := func(w io.Writer) error {
+		fmt.Fprintln(w, "Fugaku (6D-torus model) — Bine improvement over the best baseline per collective:")
+		// Fold and render serially in the original (group, shape) order;
+		// min is order-independent, so the boxplots match the serial
+		// engine exactly.
+		fold := func(dst, src map[int64]float64) {
+			for size, t := range src {
+				if cur, ok := dst[size]; !ok || t < cur {
+					dst[size] = t
 				}
 			}
 		}
-		box := stats.NewBox(improvements)
-		win := 0.0
-		if cells > 0 {
-			win = 100 * float64(wins) / float64(cells)
+		jobIdx := 0
+		for _, g := range groups {
+			var improvements []float64
+			cells, wins := 0, 0
+			for range shapes {
+				bineTimes := map[int64]float64{}
+				baseTimes := map[int64]float64{}
+				nBine := len(g.bine) + len(g.flatBine)
+				nAll := nBine + len(g.base) + len(g.flatBase)
+				for k := 0; k < nAll; k++ {
+					if k < nBine {
+						fold(bineTimes, outs[jobIdx])
+					} else {
+						fold(baseTimes, outs[jobIdx])
+					}
+					jobIdx++
+				}
+				for _, size := range sizes {
+					bt, ok1 := bineTimes[size]
+					nt, ok2 := baseTimes[size]
+					if !ok1 || !ok2 {
+						continue
+					}
+					cells++
+					if bt < nt {
+						wins++
+						improvements = append(improvements, 100*(nt/bt-1))
+					}
+				}
+			}
+			box := stats.NewBox(improvements)
+			win := 0.0
+			if cells > 0 {
+				win = 100 * float64(wins) / float64(cells)
+			}
+			fmt.Fprintf(w, "  %-15s %4.0f%%  %-46s %s\n", g.collective, win, box.Render(0, 400, 46), box)
 		}
-		fmt.Fprintf(w, "  %-15s %4.0f%%  %-46s %s\n", g.collective, win, box.Render(0, 400, 46), box)
+		fmt.Fprintln(w, "  paper: up to 5x for reduce-scatter/allreduce; broadcast and reduce face vendor-tuned torus algorithms")
+		return nil
 	}
-	fmt.Fprintln(w, "  paper: up to 5x for reduce-scatter/allreduce; broadcast and reduce face vendor-tuned torus algorithms")
-	return nil
+	return &plan{tasks: tasks, render: render}, nil
 }
 
 // Hier reproduces the multi-GPU discussion of Sec. 6.2: a hierarchical Bine
@@ -566,13 +690,17 @@ func Fig11b(w io.Writer, opts Options) error {
 // intra-node allgather) against flat algorithms on a machine with four
 // fully connected GPUs per node.
 func Hier(w io.Writer, opts Options) error {
+	p, err := planHier(opts)
+	return runPlan(w, p, err, opts)
+}
+
+func planHier(opts Options) (*plan, error) {
 	const gpusPerNode = 4
 	counts := []int{16, 64, 256, 512}
 	if opts.Quick {
 		counts = []int{16, 64}
 	}
 	sizes := opts.sizes()
-	fmt.Fprintln(w, "Sec. 6.2 — hierarchical Bine allreduce on 4-GPU nodes (times in µs; best per cell marked *):")
 	params := defaultParams()
 	type hierAlgo struct {
 		name string
@@ -582,8 +710,8 @@ func Hier(w io.Writer, opts Options) error {
 		topo  topology.Topology
 		algos []hierAlgo
 	}
-	// Build each GPU count's topology and schedules serially (cheap), then
-	// execute and score every (count, algorithm) pair on the worker pool.
+	// Build each GPU count's topology and schedules at plan time (cheap);
+	// every (count, algorithm) pair executes and scores as its own cell.
 	setups := make([]hierSetup, len(counts))
 	for ci, p := range counts {
 		topo, err := topology.NewUpDown(topology.UpDownConfig{
@@ -591,15 +719,15 @@ func Hier(w io.Writer, opts Options) error {
 			NICBW: topology.GbpsToBytes(1600), Oversub: 8, // NVLink in, tapered IB out
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bfly, err := core.NewButterfly(core.BflyBineDD, p)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		binom, err := core.NewButterfly(core.BflyBinomialDH, p)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		setups[ci] = hierSetup{topo: topo, algos: []hierAlgo{
 			{"hier-bine", func(c fabric.Comm, buf []int32) error {
@@ -617,165 +745,151 @@ func Hier(w io.Writer, opts Options) error {
 		}}
 	}
 	algosPerCount := len(setups[0].algos)
-	times, err := pool.Collect(opts.Workers, len(counts)*algosPerCount, func(i int) (map[int64]float64, error) {
-		ci, ai := i/algosPerCount, i%algosPerCount
-		p := counts[ci]
-		a := setups[ci].algos[ai]
-		n := p * gpusPerNode
-		tr, err := cachedNamedTrace("hier-allreduce", a.name, fmt.Sprintf("p=%d/n=%d", p, n), func() (*fabric.Trace, error) {
-			rec := fabric.NewRecorder(fabric.NewMem(p))
-			defer rec.Close()
-			if err := fabric.Run(rec, func(c fabric.Comm) error {
-				return a.run(c, make([]int32, n))
-			}); err != nil {
-				return nil, err
+	times := make([]map[int64]float64, len(counts)*algosPerCount)
+	tasks := make([]task, len(times))
+	for i := range times {
+		i := i
+		tasks[i] = task{system: systemMisc, run: func() error {
+			ci, ai := i/algosPerCount, i%algosPerCount
+			p := counts[ci]
+			a := setups[ci].algos[ai]
+			n := p * gpusPerNode
+			tr, err := cachedNamedTrace("hier-allreduce", a.name, fmt.Sprintf("p=%d/n=%d", p, n), func() (*fabric.Trace, error) {
+				rec := fabric.NewRecorder(fabric.NewMem(p))
+				defer rec.Close()
+				if err := fabric.Run(rec, func(c fabric.Comm) error {
+					return a.run(c, make([]int32, n))
+				}); err != nil {
+					return nil, err
+				}
+				return rec.Trace(), nil
+			})
+			if err != nil {
+				return err
 			}
-			return rec.Trace(), nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		placement := make([]int, p)
-		for r := range placement {
-			placement[r] = r
-		}
-		elemBytes := make([]float64, len(sizes))
-		for si, size := range sizes {
-			elemBytes[si] = float64(size) / float64(n)
-		}
-		rs, err := netsim.EvaluateSizes(tr, setups[ci].topo, params, netsim.Eval{
-			Placement: placement,
-			Reduces:   true,
-			Overlap:   0.3,
-		}, elemBytes)
-		if err != nil {
-			return nil, err
-		}
-		out := make(map[int64]float64, len(sizes))
-		for si, size := range sizes {
-			out[size] = rs[si].Time
-		}
-		return out, nil
-	})
-	if err != nil {
-		return err
+			placement := make([]int, p)
+			for r := range placement {
+				placement[r] = r
+			}
+			elemBytes := make([]float64, len(sizes))
+			for si, size := range sizes {
+				elemBytes[si] = float64(size) / float64(n)
+			}
+			rs, err := netsim.EvaluateSizes(tr, setups[ci].topo, params, netsim.Eval{
+				Placement: placement,
+				Reduces:   true,
+				Overlap:   0.3,
+			}, elemBytes)
+			if err != nil {
+				return err
+			}
+			out := make(map[int64]float64, len(sizes))
+			for si, size := range sizes {
+				out[size] = rs[si].Time
+			}
+			times[i] = out
+			return nil
+		}}
 	}
-	for ci, p := range counts {
-		fmt.Fprintf(w, "  %d GPUs:\n", p)
-		algTimes := times[ci*algosPerCount : (ci+1)*algosPerCount]
-		fmt.Fprintf(w, "    %-14s", "")
-		for _, size := range sizes {
-			fmt.Fprintf(w, " %10s", SizeLabel(size))
-		}
-		fmt.Fprintln(w)
-		for ai, a := range setups[ci].algos {
-			fmt.Fprintf(w, "    %-14s", a.name)
+	render := func(w io.Writer) error {
+		fmt.Fprintln(w, "Sec. 6.2 — hierarchical Bine allreduce on 4-GPU nodes (times in µs; best per cell marked *):")
+		for ci, p := range counts {
+			fmt.Fprintf(w, "  %d GPUs:\n", p)
+			algTimes := times[ci*algosPerCount : (ci+1)*algosPerCount]
+			fmt.Fprintf(w, "    %-14s", "")
 			for _, size := range sizes {
-				t := algTimes[ai][size]
-				best := true
-				for _, other := range algTimes {
-					if other[size] < t {
-						best = false
-						break
-					}
-				}
-				mark := " "
-				if best {
-					mark = "*"
-				}
-				fmt.Fprintf(w, " %9.1f%s", t*1e6, mark)
+				fmt.Fprintf(w, " %10s", SizeLabel(size))
 			}
 			fmt.Fprintln(w)
+			for ai, a := range setups[ci].algos {
+				fmt.Fprintf(w, "    %-14s", a.name)
+				for _, size := range sizes {
+					t := algTimes[ai][size]
+					best := true
+					for _, other := range algTimes {
+						if other[size] < t {
+							best = false
+							break
+						}
+					}
+					mark := " "
+					if best {
+						mark = "*"
+					}
+					fmt.Fprintf(w, " %9.1f%s", t*1e6, mark)
+				}
+				fmt.Fprintln(w)
+			}
 		}
+		fmt.Fprintln(w, "  paper: hierarchical Bine beats flat MPI algorithms for >4 MiB and approaches NCCL")
+		return nil
 	}
-	fmt.Fprintln(w, "  paper: hierarchical Bine beats flat MPI algorithms for >4 MiB and approaches NCCL")
-	return nil
+	return &plan{tasks: tasks, render: render}, nil
 }
 
 // AppD illustrates Appendix D on a 4×4 torus: hop counts of the flat Bine
 // tree vs the torus-optimized construction, and the DFS-postorder block
 // permutation.
 func AppD(w io.Writer) error {
+	p, err := planAppD()
+	return runPlan(w, p, err, Options{})
+}
+
+func planAppD() (*plan, error) {
 	tor := core.MustTorus(4, 4)
 	topo, err := FugakuTopology([]int{4, 4})
 	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "Appendix D — 4×4 torus: link hops of tree broadcasts (lower = better locality):")
-	hops := func(tr *fabric.Trace) int {
-		total := 0
-		for _, m := range tr.Records {
-			total += len(topo.Route(m.From, m.To)) - 2
-		}
-		return total
+		return nil, err
 	}
 	flatTree := core.MustTree(core.BineDH, tor.P(), 0)
-	flatTr, err := cachedNamedTrace("tree-bcast", core.BineDH.String(), fmt.Sprintf("p=%d/n=1", tor.P()), func() (*fabric.Trace, error) {
-		rec := fabric.NewRecorder(fabric.NewMem(tor.P()))
-		defer rec.Close()
-		if err := fabric.Run(rec, func(c fabric.Comm) error {
-			return coll.Bcast(c, flatTree, make([]int32, 1))
-		}); err != nil {
-			return nil, err
+	var flatTr, torusTr *fabric.Trace
+	tasks := []task{
+		{system: systemFugaku, run: func() error {
+			tr, err := cachedNamedTrace("tree-bcast", core.BineDH.String(), fmt.Sprintf("p=%d/n=1", tor.P()), func() (*fabric.Trace, error) {
+				rec := fabric.NewRecorder(fabric.NewMem(tor.P()))
+				defer rec.Close()
+				if err := fabric.Run(rec, func(c fabric.Comm) error {
+					return coll.Bcast(c, flatTree, make([]int32, 1))
+				}); err != nil {
+					return nil, err
+				}
+				return rec.Trace(), nil
+			})
+			flatTr = tr
+			return err
+		}},
+		{system: systemFugaku, run: func() error {
+			tr, err := cachedNamedTrace("torus-bcast", core.BineDH.String(), fmt.Sprintf("%v/n=1", tor.Dims), func() (*fabric.Trace, error) {
+				rec := fabric.NewRecorder(fabric.NewMem(tor.P()))
+				defer rec.Close()
+				if err := fabric.Run(rec, func(c fabric.Comm) error {
+					return coll.TorusBcast(c, tor, core.BineDH, 0, make([]int32, 1))
+				}); err != nil {
+					return nil, err
+				}
+				return rec.Trace(), nil
+			})
+			torusTr = tr
+			return err
+		}},
+	}
+	render := func(w io.Writer) error {
+		fmt.Fprintln(w, "Appendix D — 4×4 torus: link hops of tree broadcasts (lower = better locality):")
+		hops := func(tr *fabric.Trace) int {
+			total := 0
+			for _, m := range tr.Records {
+				total += len(topo.Route(m.From, m.To)) - 2
+			}
+			return total
 		}
-		return rec.Trace(), nil
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "  flat 1-D Bine tree:        %d hops\n", hops(flatTr))
-	torusTr, err := cachedNamedTrace("torus-bcast", core.BineDH.String(), fmt.Sprintf("%v/n=1", tor.Dims), func() (*fabric.Trace, error) {
-		rec := fabric.NewRecorder(fabric.NewMem(tor.P()))
-		defer rec.Close()
-		if err := fabric.Run(rec, func(c fabric.Comm) error {
-			return coll.TorusBcast(c, tor, core.BineDH, 0, make([]int32, 1))
-		}); err != nil {
-			return nil, err
+		fmt.Fprintf(w, "  flat 1-D Bine tree:        %d hops\n", hops(flatTr))
+		fmt.Fprintf(w, "  torus-optimized Bine tree: %d hops\n", hops(torusTr))
+		perm, _, err := tor.DFSPostorder()
+		if err != nil {
+			return err
 		}
-		return rec.Trace(), nil
-	})
-	if err != nil {
-		return err
+		fmt.Fprintf(w, "  DFS-postorder block permutation (Appendix D.2): %v\n", perm)
+		return nil
 	}
-	fmt.Fprintf(w, "  torus-optimized Bine tree: %d hops\n", hops(torusTr))
-	perm, _, err := tor.DFSPostorder()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "  DFS-postorder block permutation (Appendix D.2): %v\n", perm)
-	return nil
-}
-
-// RunAll executes every experiment in paper order.
-func RunAll(w io.Writer, opts Options) error {
-	steps := []struct {
-		name string
-		run  func() error
-	}{
-		{"fig1", func() error { return Fig1(w) }},
-		{"eq2", func() error { return Eq2(w) }},
-		{"fig5", func() error { return Fig5(w, opts) }},
-		{"table3", func() error { return TableBinomial(w, LUMI(), opts) }},
-		{"fig9a", func() error { return HeatmapAllreduce(w, LUMI(), opts) }},
-		{"fig9b", func() error { return Boxplots(w, LUMI(), opts) }},
-		{"table4", func() error { return TableBinomial(w, Leonardo(), opts) }},
-		{"fig10a", func() error { return HeatmapAllreduce(w, Leonardo(), opts) }},
-		{"fig10b", func() error { return Boxplots(w, Leonardo(), opts) }},
-		{"table5", func() error { return TableBinomial(w, MareNostrum(), opts) }},
-		{"fig11a", func() error { return Boxplots(w, MareNostrum(), opts) }},
-		{"fig11b", func() error { return Fig11b(w, opts) }},
-		{"fig14", func() error { return Fig14(w, opts) }},
-		{"hier", func() error { return Hier(w, opts) }},
-		{"ppn", func() error { return PPN(w, opts) }},
-		{"appD", func() error { return AppD(w) }},
-	}
-	for i, s := range steps {
-		if i > 0 {
-			fmt.Fprintln(w, strings.Repeat("=", 100))
-		}
-		if err := s.run(); err != nil {
-			return fmt.Errorf("harness: %s: %w", s.name, err)
-		}
-	}
-	return nil
+	return &plan{tasks: tasks, render: render}, nil
 }

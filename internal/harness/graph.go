@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"binetrees/internal/pool"
+)
+
+// The harness used to drain each experiment's cells on that experiment's
+// own worker pool, one experiment at a time. The job graph below flattens
+// the whole suite instead: every experiment compiles to a plan — tasks
+// that may run in any order plus a serial render — and RunAll concatenates
+// all selected plans' tasks into one flat (system × collective × node
+// count × algorithm) cell list drained by a single process-wide
+// pool.Runner, so the LUMI / Leonardo / MareNostrum / Fugaku artifact
+// groups record and evaluate concurrently while sharing the process-wide
+// trace cache.
+
+// task is one schedulable cell of the flat cross-system job graph: an
+// independent recording or evaluation unit, labeled with the system key it
+// belongs to for progress accounting.
+type task struct {
+	system string
+	run    func() error
+}
+
+// plan is one experiment compiled for the job graph: tasks that may run in
+// any order on any pool, and a render that serially writes the artifact
+// once every task has completed. A render only reads state its own plan's
+// tasks wrote into index-addressed slots, so the artifact is byte-identical
+// however the tasks interleave — drained per experiment or across the whole
+// cross-system graph (pinned by TestShardedRunAllByteIdentical).
+type plan struct {
+	tasks  []task
+	render func(w io.Writer) error
+}
+
+// ProgressFunc observes job-graph progress: system is the completed cell's
+// system key, done/total that system's cell counts. Called concurrently
+// from pool workers (serialized per tracker).
+type ProgressFunc func(system string, done, total int)
+
+// progressTracker aggregates per-system completion counts and fans them
+// into a ProgressFunc. A nil tracker is a no-op.
+type progressTracker struct {
+	fn    ProgressFunc
+	mu    sync.Mutex
+	done  map[string]int
+	total map[string]int
+}
+
+func newProgressTracker(fn ProgressFunc, tasks []task) *progressTracker {
+	if fn == nil {
+		return nil
+	}
+	t := &progressTracker{fn: fn, done: map[string]int{}, total: map[string]int{}}
+	for _, tk := range tasks {
+		t.total[tk.system]++
+	}
+	return t
+}
+
+func (t *progressTracker) taskDone(system string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.done[system]++
+	t.fn(system, t.done[system], t.total[system])
+	t.mu.Unlock()
+}
+
+// runPlan drains one experiment's tasks on its own pool and renders — the
+// serial per-experiment path behind the standalone drivers (Fig5, Fig11b,
+// …). RunAll bypasses it and drains every plan's tasks together on one
+// shared Runner instead.
+func runPlan(w io.Writer, p *plan, err error, opts Options) error {
+	if err != nil {
+		return err
+	}
+	tracker := newProgressTracker(opts.Progress, p.tasks)
+	if err := pool.ForEach(opts.Workers, len(p.tasks), func(i int) error {
+		if err := p.tasks[i].run(); err != nil {
+			return err
+		}
+		tracker.taskDone(p.tasks[i].system)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return p.render(w)
+}
+
+// systemMisc labels cells of experiments that model ad-hoc machines (the
+// Fig. 1 fat tree, the Sec. 6.2 GPU cluster, Eq. 2's pure schedule math);
+// systemFugaku labels the torus experiments, which have no System struct.
+const (
+	systemMisc   = "misc"
+	systemFugaku = "fugaku"
+)
+
+// SystemKeys returns the valid Options.Systems / -systems selector keys.
+func SystemKeys() []string {
+	return []string{LUMI().Key, Leonardo().Key, MareNostrum().Key, systemFugaku, systemMisc}
+}
+
+// step is one entry of the experiment sequence: its artifact name, the
+// system keys it contributes to (the -systems selector keeps a step if any
+// of its keys is selected), and its plan compiler.
+type step struct {
+	name    string
+	systems []string
+	plan    func(opts Options) (*plan, error)
+}
+
+func steps() []step {
+	lumi, leo, mare := LUMI(), Leonardo(), MareNostrum()
+	return []step{
+		{"fig1", []string{systemMisc}, func(Options) (*plan, error) { return planFig1() }},
+		{"eq2", []string{systemMisc}, func(Options) (*plan, error) { return planEq2() }},
+		{"fig5", []string{leo.Key, lumi.Key}, planFig5},
+		{"table3", []string{lumi.Key}, func(o Options) (*plan, error) { return planTableBinomial(lumi, o) }},
+		{"fig9a", []string{lumi.Key}, func(o Options) (*plan, error) { return planHeatmapAllreduce(lumi, o) }},
+		{"fig9b", []string{lumi.Key}, func(o Options) (*plan, error) { return planBoxplots(lumi, o) }},
+		{"table4", []string{leo.Key}, func(o Options) (*plan, error) { return planTableBinomial(leo, o) }},
+		{"fig10a", []string{leo.Key}, func(o Options) (*plan, error) { return planHeatmapAllreduce(leo, o) }},
+		{"fig10b", []string{leo.Key}, func(o Options) (*plan, error) { return planBoxplots(leo, o) }},
+		{"table5", []string{mare.Key}, func(o Options) (*plan, error) { return planTableBinomial(mare, o) }},
+		{"fig11a", []string{mare.Key}, func(o Options) (*plan, error) { return planBoxplots(mare, o) }},
+		{"fig11b", []string{systemFugaku}, planFig11b},
+		{"fig14", []string{lumi.Key}, planFig14},
+		{"hier", []string{systemMisc}, planHier},
+		{"ppn", []string{lumi.Key}, planPPN},
+		{"appD", []string{systemFugaku}, func(Options) (*plan, error) { return planAppD() }},
+	}
+}
+
+// selectSteps filters the sequence by system keys (empty selects all).
+func selectSteps(keys []string) ([]step, error) {
+	all := steps()
+	if len(keys) == 0 {
+		return all, nil
+	}
+	valid := map[string]bool{}
+	for _, k := range SystemKeys() {
+		valid[k] = true
+	}
+	want := map[string]bool{}
+	for _, k := range keys {
+		k = strings.ToLower(strings.TrimSpace(k))
+		if k == "" {
+			continue
+		}
+		if !valid[k] {
+			return nil, fmt.Errorf("unknown system %q (have %s)", k, strings.Join(SystemKeys(), ", "))
+		}
+		want[k] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("empty system selection (have %s)", strings.Join(SystemKeys(), ", "))
+	}
+	var out []step
+	for _, s := range all {
+		for _, key := range s.systems {
+			if want[key] {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunAll executes every experiment (or the Options.Systems selection) in
+// paper order. All selected experiments compile up front and their cells
+// form one flat job graph drained by a single process-wide pool.Runner —
+// cross-system sharding — before the artifacts render serially, separated
+// exactly as the per-experiment path separates them.
+func RunAll(w io.Writer, opts Options) error {
+	selected, err := selectSteps(opts.Systems)
+	if err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	plans := make([]*plan, len(selected))
+	for i, s := range selected {
+		p, err := s.plan(opts)
+		if err != nil {
+			return fmt.Errorf("harness: %s: %w", s.name, err)
+		}
+		plans[i] = p
+	}
+	var flat []task
+	var flatStep []string
+	for i, p := range plans {
+		flat = append(flat, p.tasks...)
+		for range p.tasks {
+			flatStep = append(flatStep, selected[i].name)
+		}
+	}
+	tracker := newProgressTracker(opts.Progress, flat)
+	runner := pool.NewRunner(opts.Workers)
+	defer runner.Close()
+	if err := runner.ForEach(len(flat), func(i int) error {
+		if err := flat[i].run(); err != nil {
+			return fmt.Errorf("harness: %s: %w", flatStep[i], err)
+		}
+		tracker.taskDone(flat[i].system)
+		return nil
+	}); err != nil {
+		return err
+	}
+	for i, p := range plans {
+		if i > 0 {
+			fmt.Fprintln(w, strings.Repeat("=", 100))
+		}
+		if err := p.render(w); err != nil {
+			return fmt.Errorf("harness: %s: %w", selected[i].name, err)
+		}
+	}
+	return nil
+}

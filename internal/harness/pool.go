@@ -124,7 +124,8 @@ func ResetTraceCache() {
 // identity key, consulting the in-process tier, then the disk store, and
 // only then executing record — exactly once per key per process, however
 // many concurrent workers ask. Freshly recorded traces are written through
-// to the store.
+// to the store; failed recordings are never written anywhere and their
+// in-process slot is evicted so a later request re-records.
 func cachedTraceKey(key tracestore.Key, record func() (*fabric.Trace, error)) (*fabric.Trace, error) {
 	traceCache.mu.Lock()
 	e, ok := traceCache.m[key]
@@ -151,6 +152,18 @@ func cachedTraceKey(key tracestore.Key, record func() (*fabric.Trace, error)) (*
 			_ = s.Save(key, e.tr)
 		}
 	})
+	if e.err != nil {
+		// A timed-out or otherwise failed recording must not poison the
+		// key (mirroring how corrupt store files self-evict): drop the
+		// entry — unless a retry already replaced it — so the next request
+		// records afresh. Concurrent waiters on this entry still see the
+		// original error.
+		traceCache.mu.Lock()
+		if traceCache.m[key] == e {
+			delete(traceCache.m, key)
+		}
+		traceCache.mu.Unlock()
+	}
 	return e.tr, e.err
 }
 

@@ -6,7 +6,6 @@ import (
 
 	"binetrees/internal/coll"
 	"binetrees/internal/netsim"
-	"binetrees/internal/pool"
 )
 
 // PPN reproduces the Sec. 6.1 study: the same collectives with one vs four
@@ -15,31 +14,29 @@ import (
 // provides matters more — the paper saw the 1 MiB reduce-scatter gain grow
 // from 59% to 84%.
 func PPN(w io.Writer, opts Options) error {
+	p, err := planPPN(opts)
+	return runPlan(w, p, err, opts)
+}
+
+func planPPN(opts Options) (*plan, error) {
 	sys := LUMI()
 	const nodes = 64
 	sizes := opts.sizes()
 	placements, err := Placements(sys, []int{nodes})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	nodePlacement := placements[nodes]
 	// Every configuration shares the same 64-node placement, hence the same
 	// tapered topology shares.
 	topo, err := sys.TopologyFor(nodePlacement)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Sec. 6.1 — impact of processes per node (LUMI-like, 64 nodes):")
-	fmt.Fprintln(w, "Bine gain over the best binomial baseline for reduce-scatter and allreduce:")
-	fmt.Fprintf(w, "  %-20s", "")
-	for _, size := range sizes {
-		fmt.Fprintf(w, " %10s", SizeLabel(size))
-	}
-	fmt.Fprintln(w)
-	// One job per (collective, ppn, algorithm): record (or fetch from the
-	// trace cache) the schedule at the job's rank count and score every
+	// One cell per (collective, ppn, algorithm): record (or fetch from the
+	// trace cache) the schedule at the cell's rank count and score every
 	// size. The Bine candidate and the binomial baseline of each row are
-	// independent cells, dispatched onto the worker pool.
+	// independent cells.
 	type ppnJob struct {
 		collective coll.Collective
 		ppn        int
@@ -62,54 +59,67 @@ func PPN(w io.Writer, opts Options) error {
 			}
 		}
 	}
-	outs, err := pool.Collect(opts.Workers, len(jobs), func(i int) ([]float64, error) {
-		j := jobs[i]
-		p := nodes * j.ppn
-		placement := make([]int, p)
-		for r := range placement {
-			placement[r] = nodePlacement[r/j.ppn]
-		}
-		algo, ok := coll.Find(registry, j.collective, j.name)
-		if !ok {
-			return nil, fmt.Errorf("harness: %v/%s not registered", j.collective, j.name)
-		}
-		tr, err := cachedTrace(algo, p, 0)
-		if err != nil {
-			return nil, err
-		}
-		elemBytes := make([]float64, len(sizes))
-		copyBytes := make([]float64, len(sizes))
-		for si, size := range sizes {
-			elemBytes[si] = float64(size) / float64(p)
-			copyBytes[si] = algo.CopyFactor * float64(size)
-		}
-		rs, err := netsim.EvaluateSizes(tr, topo, sys.Params, netsim.Eval{
-			Placement:   placement,
-			Reduces:     j.collective.Reduces(),
-			Overlap:     algo.Overlap,
-			CopyBytesAt: copyBytes,
-		}, elemBytes)
-		if err != nil {
-			return nil, err
-		}
-		times := make([]float64, len(sizes))
-		for si := range sizes {
-			times[si] = rs[si].Time
-		}
-		return times, nil
-	})
-	if err != nil {
-		return err
+	outs := make([][]float64, len(jobs))
+	tasks := make([]task, len(jobs))
+	for i := range jobs {
+		i := i
+		tasks[i] = task{system: sys.Key, run: func() error {
+			j := jobs[i]
+			p := nodes * j.ppn
+			placement := make([]int, p)
+			for r := range placement {
+				placement[r] = nodePlacement[r/j.ppn]
+			}
+			algo, ok := coll.Find(registry, j.collective, j.name)
+			if !ok {
+				return fmt.Errorf("%v/%s not registered", j.collective, j.name)
+			}
+			tr, err := cachedTrace(algo, p, 0)
+			if err != nil {
+				return err
+			}
+			elemBytes := make([]float64, len(sizes))
+			copyBytes := make([]float64, len(sizes))
+			for si, size := range sizes {
+				elemBytes[si] = float64(size) / float64(p)
+				copyBytes[si] = algo.CopyFactor * float64(size)
+			}
+			rs, err := netsim.EvaluateSizes(tr, topo, sys.Params, netsim.Eval{
+				Placement:   placement,
+				Reduces:     j.collective.Reduces(),
+				Overlap:     algo.Overlap,
+				CopyBytesAt: copyBytes,
+			}, elemBytes)
+			if err != nil {
+				return err
+			}
+			times := make([]float64, len(sizes))
+			for si := range sizes {
+				times[si] = rs[si].Time
+			}
+			outs[i] = times
+			return nil
+		}}
 	}
-	for row := 0; row < len(jobs)/2; row++ {
-		bine, base := outs[2*row], outs[2*row+1]
-		j := jobs[2*row]
-		fmt.Fprintf(w, "  %-15sppn=%d", j.collective, j.ppn)
-		for si := range sizes {
-			fmt.Fprintf(w, " %9.0f%%", 100*(base[si]/bine[si]-1))
+	render := func(w io.Writer) error {
+		fmt.Fprintln(w, "Sec. 6.1 — impact of processes per node (LUMI-like, 64 nodes):")
+		fmt.Fprintln(w, "Bine gain over the best binomial baseline for reduce-scatter and allreduce:")
+		fmt.Fprintf(w, "  %-20s", "")
+		for _, size := range sizes {
+			fmt.Fprintf(w, " %10s", SizeLabel(size))
 		}
 		fmt.Fprintln(w)
+		for row := 0; row < len(jobs)/2; row++ {
+			bine, base := outs[2*row], outs[2*row+1]
+			j := jobs[2*row]
+			fmt.Fprintf(w, "  %-15sppn=%d", j.collective, j.ppn)
+			for si := range sizes {
+				fmt.Fprintf(w, " %9.0f%%", 100*(base[si]/bine[si]-1))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, "  paper: gains grow with processes per node (59% → 84% for the 1 MiB reduce-scatter)")
+		return nil
 	}
-	fmt.Fprintln(w, "  paper: gains grow with processes per node (59% → 84% for the 1 MiB reduce-scatter)")
-	return nil
+	return &plan{tasks: tasks, render: render}, nil
 }

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"binetrees/internal/fabric"
+)
+
+// TestFailedRecordingNeverCachedOrStored injects a timeout mid-recording
+// and pins the eviction guarantee: a timed-out (hence partial) trace is
+// written neither to the tracestore nor to the in-process cache — the
+// failed key re-records on the next request and only the successful
+// recording is persisted.
+func TestFailedRecordingNeverCachedOrStored(t *testing.T) {
+	resetCaches(t)
+	dir := t.TempDir()
+	if err := SetTraceStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	record := func() (*fabric.Trace, error) {
+		attempts++
+		f := fabric.NewMem(2)
+		defer f.Close()
+		if attempts == 1 {
+			// Starve the first attempt: the receiver blocks before the
+			// sender wakes, and the floor deadline expires mid-schedule.
+			f.SetTimeout(time.Millisecond)
+		}
+		rec := fabric.NewRecorder(f)
+		err := fabric.Run(rec, func(c fabric.Comm) error {
+			if c.Rank() == 0 {
+				time.Sleep(20 * time.Millisecond)
+				return c.Send(1, 0, 0, []int32{1})
+			}
+			return c.Recv(0, 0, 0, make([]int32, 1))
+		})
+		if err != nil {
+			return nil, err
+		}
+		return rec.Trace(), nil
+	}
+	if _, err := cachedNamedTrace("test-evict", "x", "p=2", record); !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("first attempt: got %v, want timeout", err)
+	}
+	if files, _ := os.ReadDir(dir); len(files) != 0 {
+		t.Fatalf("failed recording reached the store: %d files", len(files))
+	}
+	tr, err := cachedNamedTrace("test-evict", "x", "p=2", record)
+	if err != nil {
+		t.Fatalf("retry after eviction: %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("failed key served from cache: %d attempts, want 2", attempts)
+	}
+	if len(tr.Records) != 1 {
+		t.Fatalf("retry recorded %d messages, want 1", len(tr.Records))
+	}
+	if files, _ := os.ReadDir(dir); len(files) != 1 {
+		t.Fatalf("successful retry not persisted: %d files", len(files))
+	}
+	// The successful recording is cached normally: a third request must
+	// not record again.
+	if _, err := cachedNamedTrace("test-evict", "x", "p=2", record); err != nil || attempts != 2 {
+		t.Fatalf("cached success re-recorded: attempts=%d err=%v", attempts, err)
+	}
+}

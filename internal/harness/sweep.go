@@ -20,6 +20,13 @@ type Options struct {
 	// pool.DefaultWorkers (one per CPU). Every artifact is byte-identical
 	// regardless of the setting.
 	Workers int
+	// Systems restricts RunAll to the artifact groups of the named system
+	// keys (see SystemKeys); empty runs the whole suite. Standalone
+	// experiment drivers ignore it.
+	Systems []string
+	// Progress, when non-nil, observes every completed job-graph cell (see
+	// ProgressFunc). Callbacks arrive from pool workers.
+	Progress ProgressFunc
 }
 
 func (o Options) nodeCounts(sys System) []int {
@@ -100,17 +107,18 @@ func recordTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
 	return rec.Trace(), nil
 }
 
-// sweepCollective evaluates every applicable algorithm of one collective
-// over the node counts and sizes on the system's fragmented placements.
-// Independent (node count, algorithm) cells are dispatched onto a worker
-// pool of the given width; each job writes into its own slot of an
-// index-addressed slice and the slots are merged in deterministic order, so
-// the result — and every artifact rendered from it — is byte-identical to
-// the serial evaluation.
-func sweepCollective(sys System, collective coll.Collective, counts []int, sizes []int64, workers int) (*sweepResult, error) {
+// planSweep compiles one collective's sweep — every applicable algorithm
+// over the node counts and sizes on the system's fragmented placements —
+// into flat-graph tasks. Each (node count, algorithm) cell writes into its
+// own slot of an index-addressed slice; finish merges the slots in
+// deterministic order into the sweepResult, so the result — and every
+// artifact rendered from it — is byte-identical to a serial evaluation.
+// Call finish only after every task has run (render time); it caches the
+// merge, so multiple renders are free.
+func planSweep(sys System, collective coll.Collective, counts []int, sizes []int64) ([]task, func() *sweepResult, error) {
 	placements, err := Placements(sys, counts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var algos []coll.Algorithm
 	for _, a := range coll.ByCollective(coll.Registry(), collective) {
@@ -118,17 +126,13 @@ func sweepCollective(sys System, collective coll.Collective, counts []int, sizes
 			algos = append(algos, a)
 		}
 	}
-	res := &sweepResult{Algos: algos, Cells: map[string]map[cellKey]cell{}}
-	for _, algo := range algos {
-		res.Cells[algo.Name] = map[cellKey]cell{}
-	}
 	// The topology share depends only on the placement; build each count's
-	// model once, up front, and let the jobs share it read-only.
+	// model once, up front, and let the tasks share it read-only.
 	topos := make(map[int]topology.Topology, len(counts))
 	for _, p := range counts {
 		topo, err := sys.TopologyFor(placements[p])
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		topos[p] = topo
 	}
@@ -145,45 +149,73 @@ func sweepCollective(sys System, collective coll.Collective, counts []int, sizes
 			jobs = append(jobs, job{p: p, algo: algo})
 		}
 	}
-	outs, err := pool.Collect(workers, len(jobs), func(i int) ([]cell, error) {
-		j := jobs[i]
-		tr, err := cachedTrace(j.algo, j.p, 0)
-		if err != nil {
-			return nil, err
+	outs := make([][]cell, len(jobs))
+	tasks := make([]task, len(jobs))
+	for i := range jobs {
+		i := i
+		tasks[i] = task{system: sys.Key, run: func() error {
+			j := jobs[i]
+			tr, err := cachedTrace(j.algo, j.p, 0)
+			if err != nil {
+				return err
+			}
+			// One structural replay scores every vector size of the cell:
+			// EvaluateSizes derives each size's Result arithmetically from
+			// the shared per-step profile, exactly matching per-size
+			// Evaluate calls.
+			elemBytes := make([]float64, len(sizes))
+			copyBytes := make([]float64, len(sizes))
+			for si, size := range sizes {
+				elemBytes[si] = float64(size) / float64(j.p)
+				copyBytes[si] = j.algo.CopyFactor * float64(size)
+			}
+			rs, err := netsim.EvaluateSizes(tr, topos[j.p], sys.Params, netsim.Eval{
+				Placement:   placements[j.p],
+				Reduces:     collective.Reduces(),
+				Overlap:     j.algo.Overlap,
+				CopyBytesAt: copyBytes,
+			}, elemBytes)
+			if err != nil {
+				return err
+			}
+			cells := make([]cell, len(sizes))
+			for si := range sizes {
+				cells[si] = cell{Time: rs[si].Time, Global: rs[si].GlobalBytes}
+			}
+			outs[i] = cells
+			return nil
+		}}
+	}
+	var res *sweepResult
+	finish := func() *sweepResult {
+		if res != nil {
+			return res
 		}
-		// One structural replay scores every vector size of the cell:
-		// EvaluateSizes derives each size's Result arithmetically from the
-		// shared per-step profile, exactly matching per-size Evaluate calls.
-		elemBytes := make([]float64, len(sizes))
-		copyBytes := make([]float64, len(sizes))
-		for si, size := range sizes {
-			elemBytes[si] = float64(size) / float64(j.p)
-			copyBytes[si] = j.algo.CopyFactor * float64(size)
+		res = &sweepResult{Algos: algos, Cells: map[string]map[cellKey]cell{}}
+		for _, algo := range algos {
+			res.Cells[algo.Name] = map[cellKey]cell{}
 		}
-		rs, err := netsim.EvaluateSizes(tr, topos[j.p], sys.Params, netsim.Eval{
-			Placement:   placements[j.p],
-			Reduces:     collective.Reduces(),
-			Overlap:     j.algo.Overlap,
-			CopyBytesAt: copyBytes,
-		}, elemBytes)
-		if err != nil {
-			return nil, err
+		for i, j := range jobs {
+			for si, size := range sizes {
+				res.Cells[j.algo.Name][cellKey{P: j.p, Size: size}] = outs[i][si]
+			}
 		}
-		cells := make([]cell, len(sizes))
-		for si := range sizes {
-			cells[si] = cell{Time: rs[si].Time, Global: rs[si].GlobalBytes}
-		}
-		return cells, nil
-	})
+		return res
+	}
+	return tasks, finish, nil
+}
+
+// sweepCollective is the standalone form of planSweep: it drains the tasks
+// on its own pool of the given width and returns the merged result.
+func sweepCollective(sys System, collective coll.Collective, counts []int, sizes []int64, workers int) (*sweepResult, error) {
+	tasks, finish, err := planSweep(sys, collective, counts, sizes)
 	if err != nil {
 		return nil, err
 	}
-	for i, j := range jobs {
-		for si, size := range sizes {
-			res.Cells[j.algo.Name][cellKey{P: j.p, Size: size}] = outs[i][si]
-		}
+	if err := pool.ForEach(workers, len(tasks), func(i int) error { return tasks[i].run() }); err != nil {
+		return nil, err
 	}
-	return res, nil
+	return finish(), nil
 }
 
 // best returns the fastest algorithm among the given names for a cell.

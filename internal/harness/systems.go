@@ -17,7 +17,10 @@ import (
 // System is one of the paper's evaluation machines, reduced to the
 // properties the model needs.
 type System struct {
-	Name    string
+	Name string
+	// Key is the short selector the job graph and the -systems flag use
+	// ("lumi", "leonardo", "marenostrum"); see SystemKeys.
+	Key     string
 	Machine alloc.Machine
 	// Oversub selects the topology family: 0 = Dragonfly (per-pair global
 	// links), > 0 = UpDown with that oversubscription (Dragonfly+ pods,
@@ -105,6 +108,7 @@ func defaultParams() netsim.Params {
 func LUMI() System {
 	return System{
 		Name:       "LUMI (Dragonfly)",
+		Key:        "lumi",
 		Machine:    alloc.Machine{Groups: 24, NodesPerGroup: 124},
 		NICGbps:    200,
 		GlobalGbps: 2 * 200, // per group-pair bundle on a 24-group Dragonfly
@@ -120,6 +124,7 @@ func LUMI() System {
 func Leonardo() System {
 	return System{
 		Name:       "Leonardo (Dragonfly+)",
+		Key:        "leonardo",
 		Machine:    alloc.Machine{Groups: 23, NodesPerGroup: 180},
 		Oversub:    1.8, // pods taper toward the second-level spines
 		NICGbps:    200,
@@ -135,6 +140,7 @@ func Leonardo() System {
 func MareNostrum() System {
 	return System{
 		Name:       "MareNostrum 5 (2:1 fat tree)",
+		Key:        "marenostrum",
 		Machine:    alloc.Machine{Groups: 8, NodesPerGroup: 160},
 		Oversub:    2,
 		NICGbps:    200,

@@ -14,12 +14,13 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
 // (workers <= 0 selects DefaultWorkers). Indices are dispatched in
-// ascending order and a claimed index always runs to completion; after a
-// failure no further indices are claimed. Because every failure observed
-// at claim time comes from a lower index, the lowest failing index always
-// runs, and its error is returned — the same error a serial loop would
-// stop on. With workers == 1 the indices run strictly in order on the
-// calling goroutine.
+// ascending order and a dispatched index always runs to completion; after
+// a failure no further indices are dispatched. Because every failure
+// observed at dispatch time comes from a lower index, the lowest failing
+// index always runs, and its error is returned — the same error a serial
+// loop would stop on. With workers == 1 the indices run strictly in order
+// on the calling goroutine; the parallel path delegates to a one-shot
+// Runner, the single implementation of those guarantees.
 func ForEach(workers, n int, fn func(i int) error) error {
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -35,39 +36,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}
 		return nil
 	}
-	errs := make([]error, n)
-	var next, failed int64
-	next = -1
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				// The failure check precedes the claim: once an index is
-				// claimed it runs unconditionally, so a flag raised by a
-				// (necessarily lower) index can only stop higher ones.
-				if atomic.LoadInt64(&failed) != 0 {
-					return
-				}
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					errs[i] = err
-					atomic.StoreInt64(&failed, 1)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	r := NewRunner(workers)
+	defer r.Close()
+	return r.ForEach(n, fn)
 }
 
 // Collect is ForEach with a result slot per index: fn(i)'s value lands in
@@ -87,4 +58,82 @@ func Collect[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, err
 	}
 	return outs, nil
+}
+
+// Runner is a reusable fixed-width pool: every batch submitted through its
+// ForEach shares the same long-lived workers, so one process-wide instance
+// can drain the cells of many experiments — across systems — at once,
+// instead of each experiment spinning up and tearing down its own
+// goroutines. Batches may be submitted from different goroutines
+// concurrently; their jobs interleave on the shared workers. A batch's fn
+// must not call back into the same Runner (the nested submit would wait on
+// workers the caller occupies).
+type Runner struct {
+	jobs    chan func()
+	wg      sync.WaitGroup
+	workers int
+}
+
+// NewRunner starts a pool of the given width (<= 0 selects DefaultWorkers).
+// Close it when no more batches will be submitted.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	r := &Runner{jobs: make(chan func()), workers: workers}
+	r.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer r.wg.Done()
+			for f := range r.jobs {
+				f()
+			}
+		}()
+	}
+	return r
+}
+
+// Workers returns the pool width.
+func (r *Runner) Workers() int { return r.workers }
+
+// Close stops the workers once every submitted job has run.
+func (r *Runner) Close() {
+	close(r.jobs)
+	r.wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n) on the runner's shared workers
+// with the package-level ForEach guarantees: indices are submitted in
+// ascending order and a submitted index always runs; after an observed
+// failure no further indices are submitted, so the lowest failing index
+// always runs and its error is returned — the same error a serial loop
+// would stop on.
+func (r *Runner) ForEach(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		// As in the package-level ForEach, the failure check precedes the
+		// claim (here: the submission), so a raised flag necessarily comes
+		// from an already-submitted, lower index.
+		if failed.Load() {
+			break
+		}
+		i := i
+		wg.Add(1)
+		r.jobs <- func() {
+			defer wg.Done()
+			if err := fn(i); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -93,6 +93,91 @@ func TestForEachClaimedIndicesAlwaysRun(t *testing.T) {
 	}
 }
 
+func TestRunnerRunsEveryIndexAcrossBatches(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		r := NewRunner(workers)
+		if r.Workers() != workers {
+			t.Fatalf("width %d, want %d", r.Workers(), workers)
+		}
+		const n = 57
+		var hits [n]int32
+		// Two sequential batches and the residue of a third share the
+		// same workers.
+		for batch := 0; batch < 3; batch++ {
+			err := r.ForEach(n, func(i int) error {
+				atomic.AddInt32(&hits[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d batch %d: %v", workers, batch, err)
+			}
+		}
+		r.Close()
+		for i, h := range hits {
+			if h != 3 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunnerConcurrentBatches(t *testing.T) {
+	r := NewRunner(4)
+	defer r.Close()
+	const batches, n = 6, 40
+	var total atomic.Int64
+	errc := make(chan error, batches)
+	for b := 0; b < batches; b++ {
+		go func() {
+			errc <- r.ForEach(n, func(i int) error {
+				total.Add(int64(i))
+				return nil
+			})
+		}()
+	}
+	for b := 0; b < batches; b++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := int64(batches * n * (n - 1) / 2); total.Load() != want {
+		t.Fatalf("total %d, want %d", total.Load(), want)
+	}
+}
+
+func TestRunnerReturnsLowestIndexErrorAndStops(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 4} {
+		r := NewRunner(workers)
+		var submitted atomic.Int64
+		err := r.ForEach(200, func(i int) error {
+			submitted.Add(1)
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		r.Close()
+		if err != errA {
+			t.Fatalf("workers=%d: got %v, want the lowest-index error", workers, err)
+		}
+		if submitted.Load() == 200 {
+			t.Fatalf("workers=%d: failure did not stop submission", workers)
+		}
+	}
+}
+
+func TestRunnerZeroJobs(t *testing.T) {
+	r := NewRunner(2)
+	defer r.Close()
+	if err := r.ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCollect(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		outs, err := Collect(workers, 20, func(i int) (int, error) { return i * i, nil })
