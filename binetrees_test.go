@@ -191,7 +191,7 @@ func TestClusterRecording(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := cl.Trace()
-	if tr == nil || len(tr.Records) == 0 {
+	if tr == nil || tr.NumRecords() == 0 {
 		t.Fatal("no trace recorded")
 	}
 	if tr.P != 4 {

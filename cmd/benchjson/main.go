@@ -1,0 +1,101 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document mapping benchmark name → {ns_per_op, b_per_op, allocs_per_op,
+// mb_per_s}, so CI can publish machine-readable performance trajectories
+// (BENCH_pipeline.json) next to the human-readable logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH_pipeline.json
+//
+// Input lines that are not benchmark results are ignored. The per-CPU
+// suffix Go appends to benchmark names (e.g. "-8") is stripped so results
+// from machines with different core counts key identically.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Metrics are one benchmark's parsed figures; absent metrics are omitted.
+type Metrics struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BPerOp      *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
+}
+
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(r io.Reader) (map[string]Metrics, error) {
+	out := map[string]Metrics{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		var m Metrics
+		seen := false
+		// fields[1] is the iteration count; metrics follow as value-unit
+		// pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			val := v
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = val
+				seen = true
+			case "B/op":
+				m.BPerOp = &val
+			case "allocs/op":
+				m.AllocsPerOp = &val
+			case "MB/s":
+				m.MBPerS = &val
+			}
+		}
+		if seen {
+			out[name] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := io.Reader(os.Stdin)
+	if len(os.Args) > 1 {
+		var readers []io.Reader
+		for _, path := range os.Args[1:] {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+	results, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil { // map keys marshal sorted
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -13,11 +13,16 @@
 // Receive deadlines in the recording fabric scale with the schedule
 // length, so full-scale recordings (the 8192-node Fugaku ring) complete
 // instead of tripping the flat timeout. Artifacts are byte-identical at
-// any pool width and sharding (pinned by tests). With -trace-cache the
-// recordings also persist to a content-addressed on-disk store shared
-// across runs — a warm store makes repeated -full runs and CI sweeps skip
-// every recording. -v prints the cache counters (memory/disk hits,
-// recordings, evictions) to stderr so warm and cold runs are observable.
+// any pool width and sharding (pinned by tests). Recording is sharded per
+// sender and traces are stored columnar (struct-of-arrays int32, half the
+// bytes of the former record slices), with replay running off the step
+// index, cached routes and dense scratch — see EXPERIMENTS.md
+// "Performance". With -trace-cache the recordings also persist to a
+// content-addressed on-disk store shared across runs — a warm store makes
+// repeated -full runs and CI sweeps skip every recording. -v prints the
+// cache counters (memory/disk hits, recordings, evictions, and the
+// resident columnar footprint) to stderr so warm and cold runs are
+// observable.
 //
 // Usage:
 //

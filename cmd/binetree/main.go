@@ -18,6 +18,7 @@
 //	           binebench (schedule printing records no traces, so this only
 //	           selects the store the stats report on)
 //	-v         print trace-cache statistics to stderr after the run
+//	           (hits, recordings, and the resident columnar trace footprint)
 //
 // Usage:
 //

@@ -2,6 +2,12 @@
 // the hand-rolled messaging substrate standing in for MPI. Eight ranks
 // exchange length-prefixed frames; the example runs a Bine allreduce, a
 // gather, and an alltoall and verifies all of them.
+//
+// Receive deadlines scale with the work submitted: each collective call
+// feeds its estimated message count into the transport's deadline budget
+// (Cluster.grantBudget), so long schedules over TCP earn the wait they
+// need instead of relying on the flat base timeout — the same scaling the
+// Recorder applies from observed traffic on recording fabrics.
 package main
 
 import (

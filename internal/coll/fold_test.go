@@ -72,7 +72,7 @@ func TestFoldedVolumeOverhead(t *testing.T) {
 	// Two folded ranks send n pre-fold and receive n post-unfold: 4n extra
 	// elements over the inner 4-rank allreduce.
 	foldElems := int64(0)
-	for _, m := range tr.Records {
+	for _, m := range tr.Records() {
 		if m.From >= 4 || m.To >= 4 {
 			foldElems += int64(m.Elems)
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 )
 
 // Binary trace codec: the on-disk format of internal/tracestore. The format
@@ -12,7 +13,10 @@ import (
 // order Recorder.Trace produces), versioned (CodecVersion joins the store's
 // content address, so a format change can never misparse old files as new
 // ones) and self-checking (a CRC over the payload turns torn or corrupted
-// writes into decode errors instead of silently wrong traces).
+// writes into decode errors instead of silently wrong traces). The encoder
+// and decoder work straight off the Trace's columns; the wire bytes are
+// identical to the former []Record-based codec, so existing stores stay
+// warm.
 
 // CodecVersion identifies the trace wire format. Bump it on any encoding
 // change; the trace store folds it into every content address, so files
@@ -24,18 +28,20 @@ var traceMagic = [4]byte{'B', 'T', 'R', 'C'}
 
 // EncodeTrace writes tr in the versioned binary format.
 func EncodeTrace(w io.Writer, tr *Trace) error {
-	buf := make([]byte, 0, 16+10*len(tr.Records))
+	n := tr.NumRecords()
+	buf := make([]byte, 0, 16+10*n)
 	buf = binary.AppendUvarint(buf, CodecVersion)
 	buf = binary.AppendUvarint(buf, uint64(tr.P))
-	buf = binary.AppendUvarint(buf, uint64(len(tr.Records)))
-	var prev Record
-	for _, r := range tr.Records {
-		buf = binary.AppendVarint(buf, int64(r.Step-prev.Step))
-		buf = binary.AppendVarint(buf, int64(r.From-prev.From))
-		buf = binary.AppendVarint(buf, int64(r.To-prev.To))
-		buf = binary.AppendUvarint(buf, uint64(r.Sub))
-		buf = binary.AppendUvarint(buf, uint64(r.Elems))
-		prev = r
+	buf = binary.AppendUvarint(buf, uint64(n))
+	var prevStep, prevFrom, prevTo int64
+	for i := 0; i < n; i++ {
+		step, from, to := int64(tr.cStep[i]), int64(tr.cFrom[i]), int64(tr.cTo[i])
+		buf = binary.AppendVarint(buf, step-prevStep)
+		buf = binary.AppendVarint(buf, from-prevFrom)
+		buf = binary.AppendVarint(buf, to-prevTo)
+		buf = binary.AppendUvarint(buf, uint64(tr.cSub[i]))
+		buf = binary.AppendUvarint(buf, uint64(tr.cElems[i]))
+		prevStep, prevFrom, prevTo = step, from, to
 	}
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(buf))
@@ -54,6 +60,12 @@ func DecodeTrace(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fabric: reading trace: %w", err)
 	}
+	return DecodeTraceBytes(raw)
+}
+
+// DecodeTraceBytes is DecodeTrace over an in-memory encoding (the trace
+// store reads whole files and decodes without an intermediate copy).
+func DecodeTraceBytes(raw []byte) (*Trace, error) {
 	if len(raw) < len(traceMagic)+4 || string(raw[:4]) != string(traceMagic[:]) {
 		return nil, fmt.Errorf("fabric: not an encoded trace")
 	}
@@ -77,33 +89,35 @@ func DecodeTrace(r io.Reader) (*Trace, error) {
 	if count > uint64(len(payload))/5 { // every record costs ≥ 5 payload bytes (5 varints)
 		return nil, fmt.Errorf("fabric: trace record count %d exceeds payload", count)
 	}
-	tr := &Trace{P: int(p)}
-	if count > 0 {
-		tr.Records = make([]Record, count)
-	}
-	var prev Record
-	for i := range tr.Records {
-		rec := Record{
-			Step:  prev.Step + int(d.varint()),
-			From:  prev.From + int(d.varint()),
-			To:    prev.To + int(d.varint()),
-			Sub:   int(d.uvarint()),
-			Elems: int(d.uvarint()),
-		}
+	n := int(count)
+	step, from, to, sub, elems := makeColumns(n)
+	var prevStep, prevFrom, prevTo int64
+	for i := 0; i < n; i++ {
+		recStep := prevStep + d.varint()
+		recFrom := prevFrom + d.varint()
+		recTo := prevTo + d.varint()
+		recSub := int64(d.uvarint())
+		recElems := int64(d.uvarint())
 		if d.err != nil {
 			return nil, d.err
 		}
-		if rec.Step < 0 || rec.Sub < 0 || rec.Elems < 0 ||
-			rec.From < 0 || rec.From >= tr.P || rec.To < 0 || rec.To >= tr.P {
-			return nil, fmt.Errorf("fabric: trace record %d out of range: %+v", i, rec)
+		if recStep < 0 || recStep > math.MaxInt32 || recSub < 0 || recSub > math.MaxInt32 ||
+			recElems < 0 || recElems > math.MaxInt32 ||
+			recFrom < 0 || recFrom >= int64(p) || recTo < 0 || recTo >= int64(p) {
+			return nil, fmt.Errorf("fabric: trace record %d out of range: step=%d from=%d to=%d sub=%d elems=%d",
+				i, recStep, recFrom, recTo, recSub, recElems)
 		}
-		tr.Records[i] = rec
-		prev = rec
+		step[i] = int32(recStep)
+		from[i] = int32(recFrom)
+		to[i] = int32(recTo)
+		sub[i] = int32(recSub)
+		elems[i] = int32(recElems)
+		prevStep, prevFrom, prevTo = recStep, recFrom, recTo
 	}
 	if len(d.buf) != 0 {
 		return nil, fmt.Errorf("fabric: %d trailing bytes after trace", len(d.buf))
 	}
-	return tr, nil
+	return newTraceColumns(int(p), step, from, to, sub, elems), nil
 }
 
 // varintReader consumes varints from a byte slice, latching the first error.

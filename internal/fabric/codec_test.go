@@ -15,7 +15,7 @@ import (
 func randomTrace(rng *rand.Rand) *Trace {
 	p := 1 + rng.Intn(64)
 	count := rng.Intn(200)
-	tr := &Trace{P: p}
+	var recs []Record
 	step, from := 0, 0
 	for i := 0; i < count; i++ {
 		if rng.Intn(3) == 0 {
@@ -26,7 +26,7 @@ func randomTrace(rng *rand.Rand) *Trace {
 		if from >= p {
 			from = p - 1
 		}
-		tr.Records = append(tr.Records, Record{
+		recs = append(recs, Record{
 			From:  from,
 			To:    rng.Intn(p),
 			Step:  step,
@@ -34,7 +34,7 @@ func randomTrace(rng *rand.Rand) *Trace {
 			Elems: rng.Intn(1 << 20),
 		})
 	}
-	return tr
+	return NewTrace(p, recs)
 }
 
 func TestTraceCodecRoundTrip(t *testing.T) {
@@ -49,10 +49,10 @@ func TestTraceCodecRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trace %d: decode: %v", i, err)
 		}
-		if got.P != tr.P || len(got.Records) != len(tr.Records) {
-			t.Fatalf("trace %d: shape %d/%d, want %d/%d", i, got.P, len(got.Records), tr.P, len(tr.Records))
+		if got.P != tr.P || got.NumRecords() != tr.NumRecords() {
+			t.Fatalf("trace %d: shape %d/%d, want %d/%d", i, got.P, got.NumRecords(), tr.P, tr.NumRecords())
 		}
-		if len(tr.Records) > 0 && !reflect.DeepEqual(got.Records, tr.Records) {
+		if tr.NumRecords() > 0 && !reflect.DeepEqual(got.Records(), tr.Records()) {
 			t.Fatalf("trace %d: records differ", i)
 		}
 	}
@@ -97,12 +97,12 @@ func TestTraceCodecRoundTripRecorded(t *testing.T) {
 // show up here and force a CodecVersion bump (which re-addresses every
 // stored file) rather than silently reinterpreting old files.
 func TestTraceCodecGolden(t *testing.T) {
-	tr := &Trace{P: 4, Records: []Record{
+	tr := NewTrace(4, []Record{
 		{From: 0, To: 1, Step: 0, Sub: 0, Elems: 2},
 		{From: 0, To: 2, Step: 1, Sub: 0, Elems: 300},
 		{From: 1, To: 3, Step: 1, Sub: 1, Elems: 300},
 		{From: 2, To: 0, Step: 2, Sub: 0, Elems: 1},
-	}}
+	})
 	const golden = "42545243010404000002000202000200ac0200020201ac020202050001305d4479"
 	var buf bytes.Buffer
 	if err := EncodeTrace(&buf, tr); err != nil {

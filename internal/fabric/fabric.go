@@ -19,6 +19,7 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,10 +60,27 @@ func budgetFor(messages int) time.Duration {
 	return b
 }
 
+// raiseBudget CAS-maxes the allowance into the transport's budget cell:
+// stale raises (smaller counts landing after larger ones) are no-ops.
+func raiseBudget(budget *atomic.Int64, b time.Duration) {
+	for {
+		cur := budget.Load()
+		if int64(b) <= cur {
+			return
+		}
+		if budget.CompareAndSwap(cur, int64(b)) {
+			return
+		}
+	}
+}
+
 // BudgetSetter is implemented by transports whose receive deadline scales
 // with the schedule size. SetBudget grants every receive an allowance of
 // DefaultTimeout (or the SetTimeout override) plus the capped per-message
-// budget for the given count. The Recorder calls it automatically as the
+// budget for the given count. Budgets only grow: a call below the current
+// allowance is a no-op, so concurrent granters — many ranks observing
+// different cumulative counts — can never regress the deadline, whatever
+// order their raises land in. The Recorder calls it automatically as the
 // recorded schedule grows, so callers rarely need to.
 type BudgetSetter interface {
 	SetBudget(messages int)

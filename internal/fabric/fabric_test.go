@@ -263,7 +263,7 @@ func TestDeadlineScalesWithScheduleLength(t *testing.T) {
 	if err := longSchedule(rec, msgs, stall); err != nil {
 		t.Fatalf("auto-scaled deadline timed out: %v", err)
 	}
-	if got := len(rec.Trace().Records); got != msgs+1 {
+	if got := rec.Trace().NumRecords(); got != msgs+1 {
 		t.Fatalf("recorded %d messages, want %d", got, msgs+1)
 	}
 }
@@ -285,6 +285,27 @@ func TestSetBudgetExtendsBlockedReceive(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBudgetMonotone pins BudgetSetter's only-grow contract: a stale raise
+// landing after a larger one (concurrent granters race their SetBudget
+// calls) must not shrink the allowance.
+func TestBudgetMonotone(t *testing.T) {
+	f := NewMem(2)
+	defer f.Close()
+	f.SetBudget(100_000)
+	want := ScaledTimeout(100_000)
+	if got := f.recvTimeout(); got != want {
+		t.Fatalf("budget: %v, want %v", got, want)
+	}
+	f.SetBudget(1) // stale raise
+	if got := f.recvTimeout(); got != want {
+		t.Fatalf("stale raise shrank the budget: %v, want %v", got, want)
+	}
+	f.SetBudget(200_000)
+	if got, want := f.recvTimeout(), ScaledTimeout(200_000); got != want {
+		t.Fatalf("larger raise ignored: %v, want %v", got, want)
 	}
 }
 
@@ -400,7 +421,7 @@ func TestRecorderCapturesTrace(t *testing.T) {
 	if tr.P != 4 {
 		t.Fatalf("P = %d", tr.P)
 	}
-	if got, want := len(tr.Records), 4+3; got != want {
+	if got, want := tr.NumRecords(), 4+3; got != want {
 		t.Fatalf("%d records, want %d", got, want)
 	}
 	steps := tr.Steps()
@@ -414,8 +435,9 @@ func TestRecorderCapturesTrace(t *testing.T) {
 		t.Fatalf("max messages per sender %d", tr.MaxMessagesPerSender())
 	}
 	// Determinism: records sorted by (step, from, to, sub).
-	for i := 1; i < len(tr.Records); i++ {
-		a, b := tr.Records[i-1], tr.Records[i]
+	recs := tr.Records()
+	for i := 1; i < len(recs); i++ {
+		a, b := recs[i-1], recs[i]
 		if a.Step > b.Step || (a.Step == b.Step && a.From > b.From) {
 			t.Fatalf("trace not sorted: %+v before %+v", a, b)
 		}

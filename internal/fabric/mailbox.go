@@ -6,10 +6,49 @@ import (
 	"time"
 )
 
-// message is one in-flight point-to-point transfer.
+// message is one in-flight point-to-point transfer. Payloads of up to
+// inlineElems elements are stored inline in the struct — unit-granularity
+// trace recordings move hundreds of millions of 1-element blocks, and
+// keeping those off the heap removes an allocation per message — while
+// larger payloads ride an owned slice.
 type message struct {
 	from, step, sub int
-	data            []int32
+	n               int32 // payload length in elements
+	inline          [inlineElems]int32
+	data            []int32 // nil when the payload is inline
+}
+
+// inlineElems is the largest payload stored inside the message struct.
+const inlineElems = 2
+
+// newMessage builds a message owning a copy of data.
+func newMessage(from, step, sub int, data []int32) message {
+	msg := message{from: from, step: step, sub: sub, n: int32(len(data))}
+	if len(data) <= inlineElems {
+		copy(msg.inline[:], data)
+	} else {
+		msg.data = make([]int32, len(data))
+		copy(msg.data, data)
+	}
+	return msg
+}
+
+// payload returns the message's element slice regardless of storage.
+func (m *message) payload() []int32 {
+	if m.data != nil {
+		return m.data
+	}
+	return m.inline[:m.n]
+}
+
+// copyInto checks the length contract and copies the payload into buf.
+func (m *message) copyInto(rank, from, step, sub int, buf []int32) error {
+	if int(m.n) != len(buf) {
+		return fmt.Errorf("fabric: rank %d recv from %d (step=%d sub=%d): got %d elems, want %d",
+			rank, from, step, sub, m.n, len(buf))
+	}
+	copy(buf, m.payload())
+	return nil
 }
 
 // mailbox is a rank's incoming message queue with out-of-order matching:
@@ -27,8 +66,8 @@ func newMailbox() *mailbox {
 	return m
 }
 
-// put enqueues a message; the data slice must already be owned by the
-// mailbox (callers copy).
+// put enqueues a message; the payload must already be owned by the mailbox
+// (callers construct via newMessage, which copies).
 func (m *mailbox) put(msg message) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -52,12 +91,15 @@ func (m *mailbox) take(from, step, sub int, timeout func() time.Duration) (messa
 		if m.closed {
 			return message{}, ErrClosed
 		}
-		for i, msg := range m.pending {
+		for i := range m.pending {
+			msg := &m.pending[i]
 			if msg.from == from && msg.step == step && msg.sub == sub {
+				out := *msg
 				last := len(m.pending) - 1
 				m.pending[i] = m.pending[last]
+				m.pending[last] = message{} // release the payload reference
 				m.pending = m.pending[:last]
-				return msg, nil
+				return out, nil
 			}
 		}
 		remaining := time.Until(start.Add(timeout()))

@@ -34,8 +34,9 @@ func (f *Mem) SetTimeout(d time.Duration) { f.timeout.Store(int64(d)) }
 // schedule of the given message count on top of the base timeout. Blocked
 // receives observe a raised budget in place (the deadline is re-derived on
 // every wake-up), which is what lets the Recorder extend deadlines while a
-// long schedule is already in flight.
-func (f *Mem) SetBudget(messages int) { f.budget.Store(int64(budgetFor(messages))) }
+// long schedule is already in flight. The allowance is monotone (see
+// BudgetSetter): stale concurrent raises never shrink it.
+func (f *Mem) SetBudget(messages int) { raiseBudget(&f.budget, budgetFor(messages)) }
 
 // recvTimeout is the live effective deadline: base plus scaled budget.
 func (f *Mem) recvTimeout() time.Duration {
@@ -76,9 +77,7 @@ func (c *memComm) Send(to, step, sub int, data []int32) error {
 	if to == c.rank {
 		return fmt.Errorf("fabric: rank %d sending to itself", to)
 	}
-	cp := make([]int32, len(data))
-	copy(cp, data)
-	return c.f.boxes[to].put(message{from: c.rank, step: step, sub: sub, data: cp})
+	return c.f.boxes[to].put(newMessage(c.rank, step, sub, data))
 }
 
 func (c *memComm) Recv(from, step, sub int, buf []int32) error {
@@ -86,10 +85,5 @@ func (c *memComm) Recv(from, step, sub int, buf []int32) error {
 	if err != nil {
 		return fmt.Errorf("fabric: rank %d recv: %w", c.rank, err)
 	}
-	if len(msg.data) != len(buf) {
-		return fmt.Errorf("fabric: rank %d recv from %d (step=%d sub=%d): got %d elems, want %d",
-			c.rank, from, step, sub, len(msg.data), len(buf))
-	}
-	copy(buf, msg.data)
-	return nil
+	return msg.copyInto(c.rank, from, step, sub, buf)
 }

@@ -1,11 +1,17 @@
 package fabric
 
 import (
+	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// Record is one captured point-to-point transfer.
+// Record is one captured point-to-point transfer, materialized from the
+// trace's columnar storage (see Trace). It remains the unit of construction
+// (NewTrace) and inspection (Trace.At, Trace.Records) for tests and tools;
+// the hot paths read the columns through the per-field accessors instead.
 type Record struct {
 	From, To int
 	// Step is the collective's logical step; messages sharing a step are
@@ -20,54 +26,214 @@ type Record struct {
 
 // Trace is the complete communication record of one collective execution.
 // The cost model in internal/netsim replays traces against topologies.
+//
+// Storage is columnar: five parallel int32 columns (struct-of-arrays), 20
+// bytes per record instead of the 40 of a []Record — the full-scale Fugaku
+// ring (~134M messages) fits in ~2.7 GB instead of ~5.4. Records are grouped
+// by ascending step with a step index over the columns, so replay iterates
+// steps without re-grouping, and the totals the evaluator asks for per cell
+// (TotalElems, MaxMessagesPerSender) are computed once at construction. A
+// Trace is immutable after construction.
 type Trace struct {
-	P       int
-	Records []Record
+	P int
+
+	// Parallel columns, grouped by nondecreasing step. Within a step,
+	// construction order is preserved (Recorder.Trace produces full
+	// (step, from, to, sub) order).
+	cStep, cFrom, cTo, cSub, cElems []int32
+
+	// stepOff[s] .. stepOff[s+1] bound step s's records in the columns;
+	// len(stepOff) == NumSteps()+1.
+	stepOff []int32
+
+	totalElems int64
+	maxMsgs    int
 }
 
-// Steps returns the records grouped by step in ascending step order.
-func (t *Trace) Steps() [][]Record {
-	if len(t.Records) == 0 {
-		return nil
+// NewTrace builds a trace over p ranks from materialized records (tests and
+// tools; recordings come from Recorder.Trace and DecodeTrace). Records are
+// stably grouped by step if they aren't already; within-step order is
+// preserved. Fields must be non-negative, fit in int32, and name ranks below
+// p.
+func NewTrace(p int, recs []Record) *Trace {
+	n := len(recs)
+	step, from, to, sub, elems := makeColumns(n)
+	for i, r := range recs {
+		if r.Step < 0 || r.Step > math.MaxInt32 || r.Sub < 0 || r.Sub > math.MaxInt32 ||
+			r.Elems < 0 || r.Elems > math.MaxInt32 || r.From < 0 || r.From >= p || r.To < 0 || r.To >= p {
+			panic(fmt.Sprintf("fabric: trace record out of range: %+v (p=%d)", r, p))
+		}
+		step[i] = int32(r.Step)
+		from[i] = int32(r.From)
+		to[i] = int32(r.To)
+		sub[i] = int32(r.Sub)
+		elems[i] = int32(r.Elems)
 	}
-	maxStep := 0
-	for _, r := range t.Records {
-		if r.Step > maxStep {
-			maxStep = r.Step
+	return newTraceColumns(p, step, from, to, sub, elems)
+}
+
+// makeColumns carves one backing array into the five capped record columns
+// every construction path (NewTrace, Recorder.Trace, DecodeTraceBytes)
+// fills.
+func makeColumns(n int) (step, from, to, sub, elems []int32) {
+	cols := make([]int32, 5*n)
+	return cols[:n:n], cols[n : 2*n : 2*n], cols[2*n : 3*n : 3*n], cols[3*n : 4*n : 4*n], cols[4*n : 5*n : 5*n]
+}
+
+// newTraceColumns assembles a trace from columns it takes ownership of:
+// stable-group by step when needed, then index and total in one pass.
+// Callers guarantee non-negative fields and ranks below p.
+func newTraceColumns(p int, step, from, to, sub, elems []int32) *Trace {
+	n := len(step)
+	t := &Trace{P: p, cStep: step, cFrom: from, cTo: to, cSub: sub, cElems: elems}
+	sorted := true
+	for i := 1; i < n; i++ {
+		if step[i] < step[i-1] {
+			sorted = false
+			break
 		}
 	}
-	out := make([][]Record, maxStep+1)
-	for _, r := range t.Records {
-		out[r.Step] = append(out[r.Step], r)
+	if !sorted {
+		// Rare path: only hand-built traces interleave steps. Stable so
+		// within-step order — which the replay semantics preserve — stays
+		// exactly the construction order.
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(i, j int) bool { return step[perm[i]] < step[perm[j]] })
+		for _, col := range []*[]int32{&t.cStep, &t.cFrom, &t.cTo, &t.cSub, &t.cElems} {
+			old := *col
+			neu := make([]int32, n)
+			for i, pi := range perm {
+				neu[i] = old[pi]
+			}
+			*col = neu
+		}
+		step, from, elems = t.cStep, t.cFrom, t.cElems
+	}
+	numSteps := 0
+	if n > 0 {
+		numSteps = int(step[n-1]) + 1
+	}
+	t.stepOff = make([]int32, numSteps+1)
+	for _, s := range step {
+		t.stepOff[s+1]++
+	}
+	for s := 0; s < numSteps; s++ {
+		t.stepOff[s+1] += t.stepOff[s]
+	}
+	for _, e := range elems {
+		t.totalElems += int64(e)
+	}
+	// Messages-per-sender-per-step with a dense generation-stamped scratch:
+	// no maps, one pass.
+	if n > 0 {
+		cnt := make([]int32, p)
+		stamp := make([]int32, p)
+		for s := 0; s < numSteps; s++ {
+			gen := int32(s) + 1
+			for i := t.stepOff[s]; i < t.stepOff[s+1]; i++ {
+				f := from[i]
+				if stamp[f] != gen {
+					stamp[f] = gen
+					cnt[f] = 0
+				}
+				cnt[f]++
+				if int(cnt[f]) > t.maxMsgs {
+					t.maxMsgs = int(cnt[f])
+				}
+			}
+		}
+	}
+	return t
+}
+
+// NumRecords returns the record count.
+func (t *Trace) NumRecords() int { return len(t.cStep) }
+
+// Per-record column accessors; i indexes the trace's step-grouped order.
+// These are the replay hot path — they compile to bounds-checked loads.
+
+// From returns record i's sending rank.
+func (t *Trace) From(i int) int { return int(t.cFrom[i]) }
+
+// To returns record i's receiving rank.
+func (t *Trace) To(i int) int { return int(t.cTo[i]) }
+
+// Step returns record i's logical step.
+func (t *Trace) Step(i int) int { return int(t.cStep[i]) }
+
+// Sub returns record i's sub-message tag.
+func (t *Trace) Sub(i int) int { return int(t.cSub[i]) }
+
+// Elems returns record i's payload length in vector elements.
+func (t *Trace) Elems(i int) int { return int(t.cElems[i]) }
+
+// At materializes record i.
+func (t *Trace) At(i int) Record {
+	return Record{
+		From: int(t.cFrom[i]), To: int(t.cTo[i]),
+		Step: int(t.cStep[i]), Sub: int(t.cSub[i]), Elems: int(t.cElems[i]),
+	}
+}
+
+// Records materializes every record in the trace's step-grouped order
+// (tests and tools; the replay iterates the columns instead).
+func (t *Trace) Records() []Record {
+	out := make([]Record, t.NumRecords())
+	for i := range out {
+		out[i] = t.At(i)
 	}
 	return out
 }
 
-// TotalElems returns the total number of vector elements transferred.
-func (t *Trace) TotalElems() int64 {
-	var n int64
-	for _, r := range t.Records {
-		n += int64(r.Elems)
-	}
-	return n
+// NumSteps returns the number of logical steps (the largest step + 1; steps
+// with no messages count).
+func (t *Trace) NumSteps() int { return len(t.stepOff) - 1 }
+
+// StepBounds returns the half-open column range [lo, hi) of step s's
+// records; lo == hi for an empty step.
+func (t *Trace) StepBounds(s int) (lo, hi int) {
+	return int(t.stepOff[s]), int(t.stepOff[s+1])
 }
 
-// MaxMessagesPerSender returns the largest number of messages any single
-// rank sends within one step; the cost model charges per-message overhead
-// serialized at the sender.
-func (t *Trace) MaxMessagesPerSender() int {
-	type key struct{ step, from int }
-	counts := map[key]int{}
-	max := 0
-	for _, r := range t.Records {
-		k := key{r.Step, r.From}
-		counts[k]++
-		if counts[k] > max {
-			max = counts[k]
-		}
+// Steps returns the records grouped by step in ascending step order
+// (materialized; the replay iterates StepBounds over the columns instead).
+func (t *Trace) Steps() [][]Record {
+	if t.NumRecords() == 0 {
+		return nil
 	}
-	return max
+	out := make([][]Record, t.NumSteps())
+	for s := range out {
+		lo, hi := t.StepBounds(s)
+		if lo == hi {
+			continue
+		}
+		recs := make([]Record, hi-lo)
+		for i := range recs {
+			recs[i] = t.At(lo + i)
+		}
+		out[s] = recs
+	}
+	return out
 }
+
+// MemBytes returns the resident size of the trace's columnar storage: five
+// int32 columns plus the step index. (The former []Record layout cost 40
+// bytes per record; the columns cost 20.)
+func (t *Trace) MemBytes() int64 {
+	return 4 * int64(5*len(t.cStep)+len(t.stepOff))
+}
+
+// TotalElems returns the total number of vector elements transferred
+// (computed once at construction).
+func (t *Trace) TotalElems() int64 { return t.totalElems }
+
+// MaxMessagesPerSender returns the largest number of messages any single
+// rank sends within one step (computed once at construction); the cost model
+// charges per-message overhead serialized at the sender.
+func (t *Trace) MaxMessagesPerSender() int { return t.maxMsgs }
 
 // budgetEvery is how many captured sends pass between the Recorder's budget
 // raises: frequent enough that the allowance tracks the schedule closely
@@ -75,8 +241,38 @@ func (t *Trace) MaxMessagesPerSender() int {
 // rare enough that the raise is free on the send path.
 const budgetEvery = 1024
 
+// budgetBatch is how many sends a shard accumulates locally before adding
+// them to the Recorder's shared counter: large enough that the counter is
+// never a contended cache line, small enough that schedules whose volume is
+// spread thinly across many ranks (each sender far below budgetEvery) still
+// feed the global count and earn their deadline — at most budgetBatch−1
+// messages per shard ever go uncounted. budgetEvery is a multiple, so
+// raises fire exactly at budgetEvery boundaries of the shared counter.
+const budgetBatch = 64
+
+// shard is one sender's private append-only record buffer: rank r's sends
+// land in shard r in columnar form (From is implicit — it's the shard
+// index), so concurrent ranks never contend on a shared mutex or interleave
+// in a shared slice. The per-shard mutex is uncontended in normal use (a
+// rank records from its own goroutine) and exists so misuse stays safe, and
+// so Trace can snapshot mid-run. Padding keeps neighbouring shards off each
+// other's cache lines.
+type shard struct {
+	mu                   sync.Mutex
+	step, to, sub, elems []int32
+	pending              int      // sends since this shard's last budget contribution
+	_                    [80]byte // rounds the struct to 192 bytes, a cache-line multiple
+}
+
 // Recorder wraps a fabric and captures every Send into a Trace. Receives are
 // not recorded (each message appears once).
+//
+// Recording is sharded per sender: each rank appends to its own columnar
+// buffer, so the hot path is a private (uncontended) lock and four int32
+// appends — no cross-rank contention and half the bytes of the former
+// single-slice []Record design. Trace merges the shards into deterministic
+// (step, from, to, sub) order with a counting merge (no comparison sort of
+// the full record set).
 //
 // The schedule length is unknown until the schedule has run, so when the
 // wrapped transport supports deadline budgets (BudgetSetter) the Recorder
@@ -84,17 +280,20 @@ const budgetEvery = 1024
 // grows with it (DefaultTimeout plus the capped per-message budget for the
 // messages recorded so far). A short schedule that deadlocks still fails
 // near the base timeout; a healthy 8192-rank ring — over a hundred million
-// messages — earns the deadline it needs as it makes progress.
+// messages — earns the deadline it needs as it makes progress. Shards
+// contribute to the shared message counter in budgetBatch-sized blocks, so
+// the counter never becomes a contended cache line, yet volume spread
+// thinly across many senders still accumulates and raises the deadline.
 type Recorder struct {
 	inner  Fabric
 	budget BudgetSetter // nil when the transport has a fixed deadline
-	mu     sync.Mutex
-	recs   []Record
+	shards []shard      // one per sending rank
+	total  atomic.Int64 // completed budgetBatch blocks across all shards, in messages
 }
 
 // NewRecorder wraps inner.
 func NewRecorder(inner Fabric) *Recorder {
-	r := &Recorder{inner: inner}
+	r := &Recorder{inner: inner, shards: make([]shard, inner.Size())}
 	if bs, ok := inner.(BudgetSetter); ok {
 		r.budget = bs
 	}
@@ -109,33 +308,114 @@ func (r *Recorder) Close() error { return r.inner.Close() }
 
 // Comm returns a recording endpoint for the rank.
 func (r *Recorder) Comm(rank int) Comm {
-	return &recComm{rec: r, inner: r.inner.Comm(rank)}
+	return &recComm{rec: r, sh: &r.shards[rank], inner: r.inner.Comm(rank)}
 }
 
 // Trace returns the captured trace in deterministic (step, from, to, sub)
-// order.
+// order. Each shard is snapshotted under its lock, sorted by (step, to, sub)
+// — almost always already true of a rank's own send order — and the shards
+// are then counting-merged by step in rank order, which yields the fully
+// sorted columns in O(records + steps) without comparing records across
+// ranks.
 func (r *Recorder) Trace() *Trace {
-	r.mu.Lock()
-	recs := append([]Record(nil), r.recs...)
-	r.mu.Unlock()
-	sort.Slice(recs, func(i, j int) bool {
-		a, b := recs[i], recs[j]
-		if a.Step != b.Step {
-			return a.Step < b.Step
+	p := r.inner.Size()
+	type snap struct{ step, to, sub, elems []int32 }
+	snaps := make([]snap, p)
+	n, maxStep := 0, -1
+	for s := range r.shards {
+		sh := &r.shards[s]
+		sh.mu.Lock()
+		snaps[s] = snap{
+			step:  append([]int32(nil), sh.step...),
+			to:    append([]int32(nil), sh.to...),
+			sub:   append([]int32(nil), sh.sub...),
+			elems: append([]int32(nil), sh.elems...),
 		}
-		if a.From != b.From {
-			return a.From < b.From
+		sh.mu.Unlock()
+		n += len(snaps[s].step)
+		sortShard(snaps[s].step, snaps[s].to, snaps[s].sub, snaps[s].elems)
+		if k := len(snaps[s].step); k > 0 && int(snaps[s].step[k-1]) > maxStep {
+			maxStep = int(snaps[s].step[k-1])
 		}
-		if a.To != b.To {
-			return a.To < b.To
+	}
+	// Counting merge: cursor[s] is the next free output slot for step s.
+	// Walking shards in ascending rank order — each internally sorted by
+	// (step, to, sub) — fills every step's region in (from, to, sub) order.
+	cursor := make([]int32, maxStep+2)
+	for s := range snaps {
+		for _, st := range snaps[s].step {
+			cursor[st+1]++
 		}
-		return a.Sub < b.Sub
-	})
-	return &Trace{P: r.inner.Size(), Records: recs}
+	}
+	for s := 1; s < len(cursor); s++ {
+		cursor[s] += cursor[s-1]
+	}
+	step, from, to, sub, elems := makeColumns(n)
+	for s := range snaps {
+		sn := &snaps[s]
+		for i, st := range sn.step {
+			pos := cursor[st]
+			cursor[st]++
+			step[pos] = st
+			from[pos] = int32(s)
+			to[pos] = sn.to[i]
+			sub[pos] = sn.sub[i]
+			elems[pos] = sn.elems[i]
+		}
+		*sn = snap{} // free the snapshot as soon as it's merged
+	}
+	return newTraceColumns(p, step, from, to, sub, elems)
+}
+
+// sortShard orders one shard's columns by (step, to, sub, elems) unless they
+// already are — a rank's own send order almost always is, so the common case
+// is a single verification pass.
+func sortShard(step, to, sub, elems []int32) {
+	sorted := true
+	for i := 1; i < len(step); i++ {
+		if shardLess(step, to, sub, elems, i, i-1) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	sort.Sort(&shardSorter{step: step, to: to, sub: sub, elems: elems})
+}
+
+type shardSorter struct{ step, to, sub, elems []int32 }
+
+func (s *shardSorter) Len() int { return len(s.step) }
+func (s *shardSorter) Less(i, j int) bool {
+	return shardLess(s.step, s.to, s.sub, s.elems, i, j)
+}
+func (s *shardSorter) Swap(i, j int) {
+	s.step[i], s.step[j] = s.step[j], s.step[i]
+	s.to[i], s.to[j] = s.to[j], s.to[i]
+	s.sub[i], s.sub[j] = s.sub[j], s.sub[i]
+	s.elems[i], s.elems[j] = s.elems[j], s.elems[i]
+}
+
+// shardLess is the (step, to, sub, elems) record order within one sender's
+// shard; elems is a final tiebreak so even pathological duplicate tags merge
+// deterministically.
+func shardLess(step, to, sub, elems []int32, i, j int) bool {
+	if step[i] != step[j] {
+		return step[i] < step[j]
+	}
+	if to[i] != to[j] {
+		return to[i] < to[j]
+	}
+	if sub[i] != sub[j] {
+		return sub[i] < sub[j]
+	}
+	return elems[i] < elems[j]
 }
 
 type recComm struct {
 	rec   *Recorder
+	sh    *shard
 	inner Comm
 }
 
@@ -143,14 +423,28 @@ func (c *recComm) Rank() int { return c.inner.Rank() }
 func (c *recComm) Size() int { return c.inner.Size() }
 
 func (c *recComm) Send(to, step, sub int, data []int32) error {
-	c.rec.mu.Lock()
-	c.rec.recs = append(c.rec.recs, Record{
-		From: c.inner.Rank(), To: to, Step: step, Sub: sub, Elems: len(data),
-	})
-	n := len(c.rec.recs)
-	c.rec.mu.Unlock()
-	if c.rec.budget != nil && n%budgetEvery == 0 {
-		c.rec.budget.SetBudget(n)
+	if step < 0 || step > math.MaxInt32 || sub < 0 || sub > math.MaxInt32 {
+		return fmt.Errorf("fabric: record tag out of range (step=%d sub=%d)", step, sub)
+	}
+	sh := c.sh
+	sh.mu.Lock()
+	sh.step = append(sh.step, int32(step))
+	sh.to = append(sh.to, int32(to))
+	sh.sub = append(sh.sub, int32(sub))
+	sh.elems = append(sh.elems, int32(len(data)))
+	sh.pending++
+	flush := sh.pending >= budgetBatch
+	if flush {
+		sh.pending = 0
+	}
+	sh.mu.Unlock()
+	if flush && c.rec.budget != nil {
+		// Every contribution is exactly budgetBatch, so the shared counter
+		// walks multiples of it and exactly one flusher observes each
+		// budgetEvery boundary.
+		if total := c.rec.total.Add(budgetBatch); total%budgetEvery == 0 {
+			c.rec.budget.SetBudget(int(total))
+		}
 	}
 	return c.inner.Send(to, step, sub, data)
 }

@@ -1,0 +1,311 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// nullFabric is a transport that accepts every send and never delivers:
+// recorder tests and benchmarks exercise the recording hot path without
+// paying for mailboxes or goroutine scheduling.
+type nullFabric struct{ p int }
+
+func (f nullFabric) Size() int          { return f.p }
+func (f nullFabric) Comm(rank int) Comm { return nullComm{rank: rank, p: f.p} }
+func (f nullFabric) Close() error       { return nil }
+
+type nullComm struct{ rank, p int }
+
+func (c nullComm) Rank() int                                  { return c.rank }
+func (c nullComm) Size() int                                  { return c.p }
+func (c nullComm) Send(to, step, sub int, data []int32) error { return nil }
+func (c nullComm) Recv(from, step, sub int, buf []int32) error {
+	return fmt.Errorf("nullComm: no messages")
+}
+
+// referenceRecorder is the pre-columnar Recorder: one mutex, one append-only
+// []Record, sorted at Trace time. It is the property-test oracle the sharded
+// merge must match, and the baseline the recording benchmarks compare
+// against.
+type referenceRecorder struct {
+	inner Fabric
+	mu    sync.Mutex
+	recs  []Record
+}
+
+func newReferenceRecorder(inner Fabric) *referenceRecorder {
+	return &referenceRecorder{inner: inner}
+}
+
+func (r *referenceRecorder) Size() int    { return r.inner.Size() }
+func (r *referenceRecorder) Close() error { return r.inner.Close() }
+func (r *referenceRecorder) Comm(rank int) Comm {
+	return &refComm{rec: r, inner: r.inner.Comm(rank)}
+}
+
+// Trace returns the captured records sorted by (step, from, to, sub, elems)
+// — the old implementation's deterministic order, with the elems tiebreak
+// the sharded merge guarantees for pathological duplicate tags.
+func (r *referenceRecorder) Trace() []Record {
+	r.mu.Lock()
+	recs := append([]Record(nil), r.recs...)
+	r.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Step != b.Step {
+			return a.Step < b.Step
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Sub != b.Sub {
+			return a.Sub < b.Sub
+		}
+		return a.Elems < b.Elems
+	})
+	return recs
+}
+
+type refComm struct {
+	rec   *referenceRecorder
+	inner Comm
+}
+
+func (c *refComm) Rank() int { return c.inner.Rank() }
+func (c *refComm) Size() int { return c.inner.Size() }
+
+func (c *refComm) Send(to, step, sub int, data []int32) error {
+	c.rec.mu.Lock()
+	c.rec.recs = append(c.rec.recs, Record{
+		From: c.inner.Rank(), To: to, Step: step, Sub: sub, Elems: len(data),
+	})
+	c.rec.mu.Unlock()
+	return c.inner.Send(to, step, sub, data)
+}
+
+func (c *refComm) Recv(from, step, sub int, buf []int32) error {
+	return c.inner.Recv(from, step, sub, buf)
+}
+
+// randomSchedule builds per-rank send lists with clustered steps, repeated
+// (to, sub) pairs and occasional exact duplicates — the shapes that stress
+// the shard sort and the counting merge.
+func randomSchedule(rng *rand.Rand, p int) [][]Record {
+	sched := make([][]Record, p)
+	for r := 0; r < p; r++ {
+		m := rng.Intn(60)
+		step := 0
+		for i := 0; i < m; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				step += rng.Intn(3) // mostly nondecreasing, like real ranks
+			case 1:
+				if step > 0 {
+					step -= 1 // occasional out-of-order step (stresses the sort)
+				}
+			}
+			rec := Record{
+				From:  r,
+				To:    rng.Intn(p),
+				Step:  step,
+				Sub:   rng.Intn(3),
+				Elems: rng.Intn(5),
+			}
+			sched[r] = append(sched[r], rec)
+			if rng.Intn(8) == 0 {
+				sched[r] = append(sched[r], rec) // exact duplicate
+			}
+		}
+	}
+	return sched
+}
+
+// runSchedule drives every rank's send list concurrently through the
+// recorder chain and returns when all sends completed. Each rank reuses one
+// payload buffer, so benchmarks measure the recording path rather than
+// payload construction.
+func runSchedule(f Fabric, sched [][]Record) {
+	var wg sync.WaitGroup
+	for r := range sched {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := f.Comm(rank)
+			maxElems := 0
+			for _, m := range sched[rank] {
+				if m.Elems > maxElems {
+					maxElems = m.Elems
+				}
+			}
+			payload := make([]int32, maxElems)
+			for _, m := range sched[rank] {
+				if err := c.Send(m.To, m.Step, m.Sub, payload[:m.Elems]); err != nil {
+					panic(err)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// checkShardedMatchesReference records one randomized concurrent schedule
+// through both recorders at once (the sharded Recorder wraps the reference,
+// so both observe the identical set of sends) and requires the sharded
+// counting merge to equal the single-mutex oracle's sorted order.
+func checkShardedMatchesReference(t *testing.T, rng *rand.Rand) {
+	t.Helper()
+	p := 2 + rng.Intn(9)
+	sched := randomSchedule(rng, p)
+	ref := newReferenceRecorder(nullFabric{p: p})
+	rec := NewRecorder(ref)
+	done := make(chan struct{})
+	// Concurrent mid-run snapshots must not perturb the final trace.
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			_ = rec.Trace()
+		}
+	}()
+	runSchedule(rec, sched)
+	<-done
+	got := rec.Trace()
+	want := ref.Trace()
+	if got.P != p {
+		t.Fatalf("trace P = %d, want %d", got.P, p)
+	}
+	if !reflect.DeepEqual(got.Records(), want) {
+		t.Fatalf("sharded merge diverged from single-mutex order\n got %+v\nwant %+v", got.Records(), want)
+	}
+}
+
+// TestShardedRecorderMatchesReference is the merge-order property test: for
+// randomized concurrent send interleavings, the sharded recorder's merged
+// (step, from, to, sub) order equals the old single-mutex recorder's sorted
+// order.
+func TestShardedRecorderMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 60; i++ {
+		checkShardedMatchesReference(t, rng)
+	}
+}
+
+// FuzzShardedRecorderMerge fuzzes the same property over arbitrary seeds
+// (the seed corpus runs under plain `go test`; `go test -fuzz` explores).
+func FuzzShardedRecorderMerge(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkShardedMatchesReference(t, rand.New(rand.NewSource(seed)))
+	})
+}
+
+// budgetFabric records SetBudget calls so tests can observe the Recorder's
+// sharded budget raises.
+type budgetFabric struct {
+	nullFabric
+	mu    sync.Mutex
+	calls []int
+}
+
+func (f *budgetFabric) SetBudget(messages int) {
+	f.mu.Lock()
+	f.calls = append(f.calls, messages)
+	f.mu.Unlock()
+}
+
+// TestRecorderBudgetRaisesSharded pins the sharded budget counter: senders
+// contribute in budgetBatch blocks, and the transport sees a raise at every
+// budgetEvery boundary of the cumulative count.
+func TestRecorderBudgetRaisesSharded(t *testing.T) {
+	f := &budgetFabric{nullFabric: nullFabric{p: 2}}
+	rec := NewRecorder(f)
+	c := rec.Comm(0)
+	for i := 0; i < 2*budgetEvery+5; i++ {
+		if err := c.Send(1, i, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.mu.Lock()
+	calls := append([]int(nil), f.calls...)
+	f.mu.Unlock()
+	if want := []int{budgetEvery, 2 * budgetEvery}; !reflect.DeepEqual(calls, want) {
+		t.Fatalf("budget raises %v, want %v", calls, want)
+	}
+}
+
+// TestRecorderBudgetSpreadAcrossSenders pins the regression the batched
+// counter exists to avoid: a schedule whose volume is spread thinly across
+// many ranks — every sender far below budgetEvery — must still accumulate
+// into the shared count and raise the deadline.
+func TestRecorderBudgetSpreadAcrossSenders(t *testing.T) {
+	p := 32
+	f := &budgetFabric{nullFabric: nullFabric{p: p}}
+	rec := NewRecorder(f)
+	for r := 0; r < p; r++ { // p ranks × budgetBatch sends = 2×budgetEvery total
+		c := rec.Comm(r)
+		for i := 0; i < budgetBatch; i++ {
+			if err := c.Send((r+1)%p, i, 0, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	f.mu.Lock()
+	calls := append([]int(nil), f.calls...)
+	f.mu.Unlock()
+	if want := []int{budgetEvery, 2 * budgetEvery}; !reflect.DeepEqual(calls, want) {
+		t.Fatalf("budget raises %v, want %v (no sender reached budgetEvery alone)", calls, want)
+	}
+}
+
+// ringSchedule is the fig11b hot spot in miniature: every rank sends
+// 2(p−1) unit messages, one per step, to its ring neighbour.
+func ringSchedule(p int) [][]Record {
+	sched := make([][]Record, p)
+	for r := 0; r < p; r++ {
+		next := (r + 1) % p
+		steps := 2 * (p - 1)
+		sched[r] = make([]Record, steps)
+		for s := 0; s < steps; s++ {
+			sched[r][s] = Record{From: r, To: next, Step: s, Elems: 1}
+		}
+	}
+	return sched
+}
+
+// BenchmarkRecordRing measures cold recording of a p-rank ring allreduce
+// schedule (every rank sends 2(p−1) unit messages) plus the Trace merge —
+// the recording hot path of `fig11b -full` at reduced scale — for the
+// sharded columnar recorder and the old single-mutex []Record baseline.
+func BenchmarkRecordRing(b *testing.B) {
+	const p = 1024
+	sched := ringSchedule(p)
+	msgs := int64(p * 2 * (p - 1))
+	b.Run("sharded", func(b *testing.B) {
+		b.SetBytes(msgs)
+		for i := 0; i < b.N; i++ {
+			rec := NewRecorder(nullFabric{p: p})
+			runSchedule(rec, sched)
+			if tr := rec.Trace(); tr.NumRecords() != int(msgs) {
+				b.Fatalf("recorded %d messages, want %d", tr.NumRecords(), msgs)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.SetBytes(msgs)
+		for i := 0; i < b.N; i++ {
+			rec := newReferenceRecorder(nullFabric{p: p})
+			runSchedule(rec, sched)
+			if recs := rec.Trace(); len(recs) != int(msgs) {
+				b.Fatalf("recorded %d messages, want %d", len(recs), msgs)
+			}
+		}
+	})
+}

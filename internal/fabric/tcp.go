@@ -62,8 +62,9 @@ func (f *TCP) SetTimeout(d time.Duration) { f.timeout.Store(int64(d)) }
 
 // SetBudget grants every receive the capped per-message allowance for a
 // schedule of the given message count on top of the base timeout; see
-// (*Mem).SetBudget.
-func (f *TCP) SetBudget(messages int) { f.budget.Store(int64(budgetFor(messages))) }
+// (*Mem).SetBudget. The allowance is monotone: stale concurrent raises
+// never shrink it.
+func (f *TCP) SetBudget(messages int) { raiseBudget(&f.budget, budgetFor(messages)) }
 
 // recvTimeout is the live effective deadline: base plus scaled budget.
 func (f *TCP) recvTimeout() time.Duration {
@@ -138,11 +139,16 @@ func (f *TCP) readLoop(rank int, conn net.Conn) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
-		data := make([]int32, count)
-		for i := range data {
-			data[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+		msg := message{from: from, step: step, sub: sub, n: int32(count)}
+		dst := msg.inline[:]
+		if count > inlineElems {
+			msg.data = make([]int32, count)
+			dst = msg.data
 		}
-		if err := f.boxes[rank].put(message{from: from, step: step, sub: sub, data: data}); err != nil {
+		for i := 0; i < count; i++ {
+			dst[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+		}
+		if err := f.boxes[rank].put(msg); err != nil {
 			return
 		}
 	}
@@ -206,10 +212,5 @@ func (c *tcpComm) Recv(from, step, sub int, buf []int32) error {
 	if err != nil {
 		return fmt.Errorf("fabric: rank %d recv: %w", c.rank, err)
 	}
-	if len(msg.data) != len(buf) {
-		return fmt.Errorf("fabric: rank %d recv from %d (step=%d sub=%d): got %d elems, want %d",
-			c.rank, from, step, sub, len(msg.data), len(buf))
-	}
-	copy(buf, msg.data)
-	return nil
+	return msg.copyInto(c.rank, from, step, sub, buf)
 }

@@ -876,9 +876,9 @@ func planAppD() (*plan, error) {
 	render := func(w io.Writer) error {
 		fmt.Fprintln(w, "Appendix D — 4×4 torus: link hops of tree broadcasts (lower = better locality):")
 		hops := func(tr *fabric.Trace) int {
-			total := 0
-			for _, m := range tr.Records {
-				total += len(topo.Route(m.From, m.To)) - 2
+			routes, total := topo.Routes(), 0
+			for i := 0; i < tr.NumRecords(); i++ {
+				total += len(routes.Route(tr.From(i), tr.To(i))) - 2
 			}
 			return total
 		}

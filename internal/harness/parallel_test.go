@@ -35,7 +35,7 @@ func TestTraceCacheConcurrent(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if n <= 0 || len(ttr.Records) == 0 || len(tr.Records) == 0 {
+		if n <= 0 || ttr.NumRecords() == 0 || tr.NumRecords() == 0 {
 			return fmt.Errorf("lane %d: empty trace", i)
 		}
 		flat[i] = []*trPtr{{algo.Name, tr}, {ta.Name, ttr}}

@@ -46,8 +46,10 @@ var traceCache = struct {
 var store atomic.Pointer[tracestore.Store]
 
 var cacheCounters struct {
-	memHits atomic.Uint64
-	records atomic.Uint64
+	memHits      atomic.Uint64
+	records      atomic.Uint64
+	cachedTraces atomic.Uint64
+	cachedBytes  atomic.Uint64
 }
 
 // SetTraceStore layers a disk-backed trace store (rooted at dir, created if
@@ -84,11 +86,16 @@ type CacheStats struct {
 	// CorruptEvictions counts store files that failed to decode and were
 	// removed (their slots re-record and re-save transparently).
 	CorruptEvictions uint64
+	// CachedTraces and CachedBytes size the in-process tier: resident
+	// traces and their columnar footprint (fabric.Trace.MemBytes) — the
+	// number to watch when sizing hosts for full-scale suites.
+	CachedTraces, CachedBytes uint64
 }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("trace cache: %d memory hits, %d disk hits, %d disk misses, %d recordings, %d disk saves, %d corrupt evictions",
-		s.MemoryHits, s.DiskHits, s.DiskMisses, s.Records, s.DiskSaves, s.CorruptEvictions)
+	return fmt.Sprintf("trace cache: %d memory hits, %d disk hits, %d disk misses, %d recordings, %d disk saves, %d corrupt evictions; %d resident traces, %.1f MiB columnar",
+		s.MemoryHits, s.DiskHits, s.DiskMisses, s.Records, s.DiskSaves, s.CorruptEvictions,
+		s.CachedTraces, float64(s.CachedBytes)/(1<<20))
 }
 
 // TraceCacheStats returns the counters accumulated since the last
@@ -105,6 +112,8 @@ func TraceCacheStats() CacheStats {
 		Records:          cacheCounters.records.Load(),
 		DiskSaves:        ds.Saves,
 		CorruptEvictions: ds.CorruptEvictions,
+		CachedTraces:     cacheCounters.cachedTraces.Load(),
+		CachedBytes:      cacheCounters.cachedBytes.Load(),
 	}
 }
 
@@ -118,6 +127,8 @@ func ResetTraceCache() {
 	traceCache.mu.Unlock()
 	cacheCounters.memHits.Store(0)
 	cacheCounters.records.Store(0)
+	cacheCounters.cachedTraces.Store(0)
+	cacheCounters.cachedBytes.Store(0)
 }
 
 // cachedTraceKey is the cache core: it returns the trace for the schedule
@@ -141,15 +152,19 @@ func cachedTraceKey(key tracestore.Key, record func() (*fabric.Trace, error)) (*
 		s := store.Load()
 		if tr, hit := s.Load(key); hit {
 			e.tr = tr
-			return
+		} else {
+			cacheCounters.records.Add(1)
+			e.tr, e.err = record()
+			if e.err == nil {
+				// Write-behind is best-effort: a read-only or full cache
+				// directory degrades to re-recording next process, never
+				// to a failed sweep.
+				_ = s.Save(key, e.tr)
+			}
 		}
-		cacheCounters.records.Add(1)
-		e.tr, e.err = record()
-		if e.err == nil {
-			// Write-behind is best-effort: a read-only or full cache
-			// directory degrades to re-recording next process, never to a
-			// failed sweep.
-			_ = s.Save(key, e.tr)
+		if e.err == nil && e.tr != nil {
+			cacheCounters.cachedTraces.Add(1)
+			cacheCounters.cachedBytes.Add(uint64(e.tr.MemBytes()))
 		}
 	})
 	if e.err != nil {

@@ -56,8 +56,8 @@ func TestFailedRecordingNeverCachedOrStored(t *testing.T) {
 	if attempts != 2 {
 		t.Fatalf("failed key served from cache: %d attempts, want 2", attempts)
 	}
-	if len(tr.Records) != 1 {
-		t.Fatalf("retry recorded %d messages, want 1", len(tr.Records))
+	if tr.NumRecords() != 1 {
+		t.Fatalf("retry recorded %d messages, want 1", tr.NumRecords())
 	}
 	if files, _ := os.ReadDir(dir); len(files) != 1 {
 		t.Fatalf("successful retry not persisted: %d files", len(files))

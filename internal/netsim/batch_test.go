@@ -122,7 +122,7 @@ func TestEvaluateSizesMatchesEvaluate(t *testing.T) {
 }
 
 func TestEvaluateSizesErrors(t *testing.T) {
-	tr := &fabric.Trace{P: 4, Records: []fabric.Record{{From: 0, To: 1, Elems: 1}}}
+	tr := fabric.NewTrace(4, []fabric.Record{{From: 0, To: 1, Elems: 1}})
 	topo := topology.NewFlat("f", 4, 10e9)
 	// Short placement fails like Evaluate.
 	if _, err := EvaluateSizes(tr, topo, testParams(), Eval{Placement: identity(2)}, []float64{1}); err == nil {

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"binetrees/internal/fabric"
+	"binetrees/internal/topology"
+)
+
+// ringTrace builds the fig11b hot spot in miniature: a p-rank ring
+// reduce-scatter + allgather schedule, 2(p−1) steps of p unit messages.
+func ringTrace(p int) *fabric.Trace {
+	steps := 2 * (p - 1)
+	recs := make([]fabric.Record, 0, p*steps)
+	for s := 0; s < steps; s++ {
+		for r := 0; r < p; r++ {
+			recs = append(recs, fabric.Record{From: r, To: (r + 1) % p, Step: s, Elems: 1})
+		}
+	}
+	return fabric.NewTrace(p, recs)
+}
+
+// BenchmarkProfileRing measures the structural replay (profile) of a ring
+// schedule — the netsim hot path of every sweep cell — on a torus and a
+// flat model. The replay reuses dense scratch and cached routes, so
+// allocs/op stays flat in the message count.
+func BenchmarkProfileRing(b *testing.B) {
+	const p = 256
+	tr := ringTrace(p)
+	placement := make([]int, p)
+	for i := range placement {
+		placement[i] = i
+	}
+	params := testParams()
+	tor, err := topology.NewTorus(topology.TorusConfig{
+		Name: "tor", Dims: []int{16, 16}, NICBW: 6.8e9, LinkBW: 6.8e9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	topos := map[string]topology.Topology{
+		"torus": tor,
+		"flat":  topology.NewFlat("flat", p, 25e9),
+	}
+	for _, name := range []string{"torus", "flat"} {
+		topo := topos[name]
+		b.Run(fmt.Sprintf("%s-p%d", name, p), func(b *testing.B) {
+			b.SetBytes(int64(tr.NumRecords()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Evaluate(tr, topo, params, Eval{
+					Placement: placement, ElemBytes: 4, Reduces: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

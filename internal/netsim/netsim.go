@@ -11,6 +11,13 @@
 // block size, a trace recorded at unit block granularity can be rescaled to
 // any vector size without re-running the collective (validated by
 // TestTraceScalingExact).
+//
+// The replay is allocation-free per message: traces are iterated straight
+// off their columnar step index, routes come from the topology instance's
+// own memoized cache — shared across every evaluation cell replaying
+// against it, and living exactly as long as it (see topology.RouteCache) —
+// and the per-step aggregates use dense generation-stamped scratch slices
+// reused across steps instead of maps.
 package netsim
 
 import (
@@ -115,32 +122,64 @@ type traceProfile struct {
 }
 
 // profile replays the trace once, accumulating link loads and received
-// volumes as exact integer element counts.
+// volumes as exact integer element counts. The per-step aggregates —
+// link loads, per-receiver volumes, per-sender message counts — live in
+// dense scratch slices stamped with the step's generation, so advancing a
+// step resets nothing and the whole replay allocates only the profile it
+// returns.
 func profile(tr *fabric.Trace, topo topology.Topology, ev Eval) (*traceProfile, error) {
 	if len(ev.Placement) < tr.P {
 		return nil, fmt.Errorf("netsim: placement covers %d of %d ranks", len(ev.Placement), tr.P)
 	}
 	links := topo.Links()
-	loads := make([]int64, len(links))
+	routes := topo.Routes()
+	// Generation-stamped scratch: entry i is live for the current step iff
+	// its stamp equals the step's generation, so clearing between steps is
+	// free and only touched entries are ever visited.
+	loadVal := make([]int64, len(links))
+	loadGen := make([]int32, len(links))
+	touched := make([]int32, 0, 256) // link IDs loaded in the current step
+	var recvVal []int64
+	var recvGen []int32
+	if ev.Reduces {
+		recvVal = make([]int64, tr.P)
+		recvGen = make([]int32, tr.P)
+	}
+	sendCnt := make([]int32, tr.P)
+	sendGen := make([]int32, tr.P)
+
+	numSteps := tr.NumSteps()
 	pf := &traceProfile{}
-	for _, step := range tr.Steps() {
-		if len(step) == 0 {
+	lastSrc, lastDst := -1, -1
+	var route []int32
+	for s := 0; s < numSteps; s++ {
+		lo, hi := tr.StepBounds(s)
+		if lo == hi {
 			continue
 		}
-		for i := range loads {
-			loads[i] = 0
-		}
+		gen := int32(s) + 1
+		touched = touched[:0]
 		sp := stepProfile{maxHops: -1}
-		recvPer := map[int]int64{}
-		sendCnt := map[int]int{}
-		for _, m := range step {
-			src, dst := ev.Placement[m.From], ev.Placement[m.To]
-			elems := int64(m.Elems)
+		for i := lo; i < hi; i++ {
+			from, to := tr.From(i), tr.To(i)
+			src, dst := ev.Placement[from], ev.Placement[to]
+			elems := int64(tr.Elems(i))
 			pf.totalElems += elems
 			pf.messages++
+			// Consecutive records very often repeat a pair (sub-message
+			// runs); skip even the cache lookup for those.
+			if src != lastSrc || dst != lastDst {
+				route = routes.Route(src, dst)
+				lastSrc, lastDst = src, dst
+			}
 			hops := 0
-			for _, id := range topo.Route(src, dst) {
-				loads[id] += elems
+			for _, id := range route {
+				if loadGen[id] != gen {
+					loadGen[id] = gen
+					loadVal[id] = 0
+					touched = append(touched, id)
+				}
+				loadVal[id] += elems
 				if links[id].Kind == topology.Global {
 					pf.globalElems += elems
 					hops++
@@ -153,26 +192,35 @@ func profile(tr *fabric.Trace, topo topology.Topology, ev Eval) (*traceProfile, 
 				sp.maxHops = hops
 			}
 			if ev.Reduces {
-				recvPer[m.To] += elems
-				if recvPer[m.To] > sp.maxRecvElems {
-					sp.maxRecvElems = recvPer[m.To]
+				if recvGen[to] != gen {
+					recvGen[to] = gen
+					recvVal[to] = 0
+				}
+				recvVal[to] += elems
+				if recvVal[to] > sp.maxRecvElems {
+					sp.maxRecvElems = recvVal[to]
 				}
 			}
-			sendCnt[m.From]++
-			if sendCnt[m.From] > sp.maxMsgs {
-				sp.maxMsgs = sendCnt[m.From]
+			if sendGen[from] != gen {
+				sendGen[from] = gen
+				sendCnt[from] = 0
+			}
+			sendCnt[from]++
+			if int(sendCnt[from]) > sp.maxMsgs {
+				sp.maxMsgs = int(sendCnt[from])
 			}
 		}
 		// Collapse the per-link loads to one heaviest load per bandwidth
 		// class; topologies have a handful of classes, so the per-size
 		// derivation touches a few pairs instead of every link.
-		for i, load := range loads {
+		for _, id := range touched {
+			load := loadVal[id]
 			if load == 0 {
 				continue
 			}
 			found := false
 			for ci := range sp.loads {
-				if sp.loads[ci].bw == links[i].BW {
+				if sp.loads[ci].bw == links[id].BW {
 					if load > sp.loads[ci].elems {
 						sp.loads[ci].elems = load
 					}
@@ -181,7 +229,7 @@ func profile(tr *fabric.Trace, topo topology.Topology, ev Eval) (*traceProfile, 
 				}
 			}
 			if !found {
-				sp.loads = append(sp.loads, loadClass{elems: load, bw: links[i].BW})
+				sp.loads = append(sp.loads, loadClass{elems: load, bw: links[id].BW})
 			}
 		}
 		pf.steps = append(pf.steps, sp)
@@ -272,10 +320,12 @@ func EvaluateSizes(tr *fabric.Trace, topo topology.Topology, p Params, ev Eval, 
 // study: it returns the bytes crossing group boundaries (unit element size)
 // given a rank → group map, with no link model at all.
 func GlobalTraffic(tr *fabric.Trace, groupOf []int) (global, total int64) {
-	for _, m := range tr.Records {
-		total += int64(m.Elems)
-		if groupOf[m.From] != groupOf[m.To] {
-			global += int64(m.Elems)
+	n := tr.NumRecords()
+	for i := 0; i < n; i++ {
+		elems := int64(tr.Elems(i))
+		total += elems
+		if groupOf[tr.From(i)] != groupOf[tr.To(i)] {
+			global += elems
 		}
 	}
 	return global, total

@@ -107,10 +107,10 @@ func TestContentionSerializesSharedLinks(t *testing.T) {
 	// and take twice as long as one; two messages on distinct uplinks do
 	// not.
 	mk := func(fromA, toA, fromB, toB int) *fabric.Trace {
-		return &fabric.Trace{P: 8, Records: []fabric.Record{
+		return fabric.NewTrace(8, []fabric.Record{
 			{From: fromA, To: toA, Step: 0, Elems: 1 << 20},
 			{From: fromB, To: toB, Step: 0, Elems: 1 << 20},
-		}}
+		})
 	}
 	topo, err := topology.NewUpDown(topology.UpDownConfig{
 		Name: "t", Groups: 4, NodesPerGroup: 2, NICBW: 10e9, Oversub: 2,
@@ -135,14 +135,14 @@ func TestContentionSerializesSharedLinks(t *testing.T) {
 func TestStepsSerializeAndMessagesOverlap(t *testing.T) {
 	// Same two messages: in one step they overlap, in two steps they pay
 	// alpha twice and serialize.
-	one := &fabric.Trace{P: 4, Records: []fabric.Record{
+	one := fabric.NewTrace(4, []fabric.Record{
 		{From: 0, To: 1, Step: 0, Elems: 1000},
 		{From: 2, To: 3, Step: 0, Elems: 1000},
-	}}
-	two := &fabric.Trace{P: 4, Records: []fabric.Record{
+	})
+	two := fabric.NewTrace(4, []fabric.Record{
 		{From: 0, To: 1, Step: 0, Elems: 1000},
 		{From: 2, To: 3, Step: 1, Elems: 1000},
-	}}
+	})
 	topo := topology.NewFlat("f", 4, 10e9)
 	pl := identity(4)
 	a, err := Evaluate(one, topo, testParams(), Eval{Placement: pl, ElemBytes: 4})
@@ -159,14 +159,14 @@ func TestStepsSerializeAndMessagesOverlap(t *testing.T) {
 }
 
 func TestPerMessageOverheadCharged(t *testing.T) {
-	bulk := &fabric.Trace{P: 2, Records: []fabric.Record{
+	bulk := fabric.NewTrace(2, []fabric.Record{
 		{From: 0, To: 1, Step: 0, Elems: 1000},
-	}}
+	})
 	var recs []fabric.Record
 	for sub := 0; sub < 10; sub++ {
 		recs = append(recs, fabric.Record{From: 0, To: 1, Step: 0, Sub: sub, Elems: 100})
 	}
-	segmented := &fabric.Trace{P: 2, Records: recs}
+	segmented := fabric.NewTrace(2, recs)
 	topo := topology.NewFlat("f", 2, 10e9)
 	pl := identity(2)
 	a, _ := Evaluate(bulk, topo, testParams(), Eval{Placement: pl, ElemBytes: 4})
@@ -178,9 +178,9 @@ func TestPerMessageOverheadCharged(t *testing.T) {
 }
 
 func TestReductionComputeAndOverlap(t *testing.T) {
-	tr := &fabric.Trace{P: 2, Records: []fabric.Record{
+	tr := fabric.NewTrace(2, []fabric.Record{
 		{From: 0, To: 1, Step: 0, Elems: 1 << 20},
-	}}
+	})
 	topo := topology.NewFlat("f", 2, 10e9)
 	pl := identity(2)
 	p := testParams()
@@ -215,11 +215,11 @@ func TestTraceScalingExact(t *testing.T) {
 		return rec.Trace()
 	}
 	t1, t3 := trace(1), trace(3)
-	if len(t1.Records) != len(t3.Records) {
-		t.Fatalf("record counts differ: %d vs %d", len(t1.Records), len(t3.Records))
+	if t1.NumRecords() != t3.NumRecords() {
+		t.Fatalf("record counts differ: %d vs %d", t1.NumRecords(), t3.NumRecords())
 	}
-	for i := range t1.Records {
-		a, b := t1.Records[i], t3.Records[i]
+	for i := 0; i < t1.NumRecords(); i++ {
+		a, b := t1.At(i), t3.At(i)
 		if a.From != b.From || a.To != b.To || a.Step != b.Step || a.Sub != b.Sub {
 			t.Fatalf("record %d shape differs: %+v vs %+v", i, a, b)
 		}
@@ -275,10 +275,10 @@ func TestBineReducesGlobalTrafficAtScale(t *testing.T) {
 }
 
 func ExampleGlobalTraffic() {
-	tr := &fabric.Trace{P: 4, Records: []fabric.Record{
+	tr := fabric.NewTrace(4, []fabric.Record{
 		{From: 0, To: 1, Elems: 10},
 		{From: 0, To: 2, Elems: 10},
-	}}
+	})
 	groupOf := []int{0, 0, 1, 1}
 	global, total := GlobalTraffic(tr, groupOf)
 	fmt.Println(global, total)

@@ -1,0 +1,112 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+)
+
+// testTopologies builds one instance of each topology family at a size
+// where every routing case (intra-group, inter-group, multi-hop wraps)
+// occurs.
+func testTopologies(t *testing.T) map[string]Topology {
+	t.Helper()
+	df, err := NewDragonfly(DragonflyConfig{
+		Name: "df", Groups: 4, NodesPerGroup: 3, NICBW: 25e9, GlobalBW: 50e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := NewUpDown(UpDownConfig{
+		Name: "ud", Groups: 3, NodesPerGroup: 4, NICBW: 25e9, Oversub: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor, err := NewTorus(TorusConfig{
+		Name: "tor", Dims: []int{4, 3, 2}, NICBW: 6.8e9, LinkBW: 6.8e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Topology{
+		"dragonfly": df,
+		"updown":    ud,
+		"flat":      NewFlat("flat", 9, 25e9),
+		"torus":     tor,
+	}
+}
+
+// TestRouteCacheEquivalence checks, for every topology family and every
+// (src, dst) pair, that the memoized route equals the directly computed one
+// — both on first computation and when served from the cache.
+func TestRouteCacheEquivalence(t *testing.T) {
+	for name, topo := range testTopologies(t) {
+		t.Run(name, func(t *testing.T) {
+			rc := topo.Routes()
+			if rc.Topology() != topo {
+				t.Fatal("cache wraps the wrong topology")
+			}
+			if topo.Routes() != rc {
+				t.Fatal("Routes() not memoized per instance")
+			}
+			n := topo.Nodes()
+			for pass := 0; pass < 2; pass++ { // cold then cached
+				for src := 0; src < n; src++ {
+					for dst := 0; dst < n; dst++ {
+						want := topo.Route(src, dst)
+						got := rc.Route(src, dst)
+						if len(got) != len(want) {
+							t.Fatalf("pass %d: route %d→%d: %v, want %v", pass, src, dst, got, want)
+						}
+						for i := range want {
+							if int(got[i]) != want[i] {
+								t.Fatalf("pass %d: route %d→%d: %v, want %v", pass, src, dst, got, want)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRouteCacheConcurrent hammers one cache from many goroutines; the race
+// detector checks the locking, and every returned route must match the
+// direct computation.
+func TestRouteCacheConcurrent(t *testing.T) {
+	topo, err := NewTorus(TorusConfig{Name: "tor", Dims: []int{4, 4}, NICBW: 1e9, LinkBW: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewRouteCache(topo)
+	n := topo.Nodes()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 4*n*n; i++ {
+				src := (i + seed) % n
+				dst := (i * 7) % n
+				got := rc.Route(src, dst)
+				want := topo.Route(src, dst)
+				if len(got) != len(want) {
+					errs <- "route length mismatch"
+					return
+				}
+				for j := range want {
+					if int(got[j]) != want[j] {
+						errs <- "route id mismatch"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -65,6 +65,9 @@ type Topology interface {
 	// Route returns the link IDs a message from src to dst traverses,
 	// under minimal routing. src == dst returns nil.
 	Route(src, dst int) []int
+	// Routes returns the topology's memoized route cache (replay hot
+	// path); its lifetime is the topology instance's.
+	Routes() *RouteCache
 	// Links enumerates every link; Route results index into it by ID.
 	Links() []Link
 }
@@ -73,10 +76,12 @@ type Topology interface {
 func GbpsToBytes(gbps float64) float64 { return gbps * 1e9 / 8 }
 
 // common implements injection links (IDs 0..2N-1: node i injects on 2i and
-// ejects on 2i+1) shared by all concrete topologies.
+// ejects on 2i+1) and the lazily attached route cache shared by all
+// concrete topologies.
 type common struct {
 	nodes int
 	links []Link
+	routeCacheHolder
 }
 
 func newCommon(nodes int, nicBW float64) *common {
@@ -161,6 +166,9 @@ func (d *Dragonfly) NumGroups() int { return d.groups }
 // across groups, as on the paper's systems).
 func (d *Dragonfly) GroupOf(node int) int { return node / d.nodesPerGroup }
 
+// Routes returns the memoized route cache.
+func (d *Dragonfly) Routes() *RouteCache { return d.routeCache(d) }
+
 // Route returns injection + (for inter-group traffic) the group-pair global
 // bundle + ejection.
 func (d *Dragonfly) Route(src, dst int) []int {
@@ -238,6 +246,9 @@ func (u *UpDown) NumGroups() int { return u.groups }
 // GroupOf maps nodes to groups block-wise.
 func (u *UpDown) GroupOf(node int) int { return node / u.nodesPerGroup }
 
+// Routes returns the memoized route cache.
+func (u *UpDown) Routes() *RouteCache { return u.routeCache(u) }
+
 // Route crosses the source group's uplink and the destination group's
 // downlink for inter-group traffic.
 func (u *UpDown) Route(src, dst int) []int {
@@ -271,6 +282,9 @@ func (f *Flat) NumGroups() int { return 1 }
 
 // GroupOf always returns 0.
 func (f *Flat) GroupOf(int) int { return 0 }
+
+// Routes returns the memoized route cache.
+func (f *Flat) Routes() *RouteCache { return f.routeCache(f) }
 
 // Route is injection and ejection only.
 func (f *Flat) Route(src, dst int) []int {

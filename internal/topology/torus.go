@@ -65,6 +65,9 @@ func (t *Torus) NumGroups() int { return t.nodes }
 // GroupOf is the identity.
 func (t *Torus) GroupOf(node int) int { return node }
 
+// Routes returns the memoized route cache.
+func (t *Torus) Routes() *RouteCache { return t.routeCache(t) }
+
 // Route walks dimension order, taking the shorter ring direction in each
 // dimension and collecting one link per hop.
 func (t *Torus) Route(src, dst int) []int {

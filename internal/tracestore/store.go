@@ -16,6 +16,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync/atomic"
@@ -100,8 +101,20 @@ func (s *Store) Load(k Key) (tr *fabric.Trace, ok bool) {
 		return nil, false
 	}
 	fi, statErr := f.Stat()
-	tr, err = fabric.DecodeTrace(f)
+	// Read the whole file into an exactly sized buffer and decode in place:
+	// full-scale traces run to hundreds of megabytes, and a growing
+	// io.ReadAll buffer would copy them several times over.
+	var raw []byte
+	if statErr == nil {
+		raw = make([]byte, fi.Size())
+		_, err = io.ReadFull(f, raw)
+	} else {
+		raw, err = io.ReadAll(f)
+	}
 	f.Close()
+	if err == nil {
+		tr, err = fabric.DecodeTraceBytes(raw)
+	}
 	if err != nil {
 		// Evict the damaged file — but only if the path still names the
 		// file we read: in a store shared across processes, a concurrent

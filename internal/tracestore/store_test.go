@@ -10,13 +10,13 @@ import (
 )
 
 func testTrace(p, seed int) *fabric.Trace {
-	tr := &fabric.Trace{P: p}
+	var recs []fabric.Record
 	for i := 0; i < 10+seed; i++ {
-		tr.Records = append(tr.Records, fabric.Record{
+		recs = append(recs, fabric.Record{
 			From: i % p, To: (i + 1 + seed) % p, Step: i / 3, Sub: i % 2, Elems: 1 + i*seed,
 		})
 	}
-	return tr
+	return fabric.NewTrace(p, recs)
 }
 
 func testKey(algo string, p int) Key {

@@ -10,11 +10,22 @@ import (
 // coordinates of a multidimensional torus and every transfer moves along a
 // single dimension.
 
+// torusGrant feeds the per-dimension ring/tree traffic of a torus
+// collective into the cluster's receive-deadline budget (see grantBudget):
+// every torus algorithm here sends at most a few full traversals of each
+// ring per rank.
+func (r *Rank) torusGrant() {
+	if r.cl != nil {
+		r.cl.grantBudget(4 * r.Size())
+	}
+}
+
 // TorusAllreduce runs the torus-optimized Bine allreduce over a torus of
 // the given dimensions (the product must equal the cluster size; every
 // dimension must be a power of two).
 func (r *Rank) TorusAllreduce(dims []int, buf []int32, opts ...Option) error {
 	o, c := r.prepare(opts)
+	r.torusGrant()
 	tor, err := core.NewTorus(dims...)
 	if err != nil {
 		return err
@@ -27,6 +38,7 @@ func (r *Rank) TorusAllreduce(dims []int, buf []int32, opts ...Option) error {
 // direction, as on Fugaku). len(buf) must be divisible by 2·D·size.
 func (r *Rank) TorusMultiportAllreduce(dims []int, buf []int32, opts ...Option) error {
 	o, c := r.prepare(opts)
+	r.torusGrant()
 	tor, err := core.NewTorus(dims...)
 	if err != nil {
 		return err
@@ -38,6 +50,7 @@ func (r *Rank) TorusMultiportAllreduce(dims []int, buf []int32, opts ...Option) 
 // torus (works for any dimension sizes).
 func (r *Rank) BucketAllreduce(dims []int, buf []int32, opts ...Option) error {
 	o, c := r.prepare(opts)
+	r.torusGrant()
 	tor, err := core.NewTorus(dims...)
 	if err != nil {
 		return err
@@ -49,6 +62,7 @@ func (r *Rank) BucketAllreduce(dims []int, buf []int32, opts ...Option) error {
 // per-dimension Bine trees.
 func (r *Rank) TorusBcast(dims []int, buf []int32, opts ...Option) error {
 	o, c := r.prepare(opts)
+	r.torusGrant()
 	tor, err := core.NewTorus(dims...)
 	if err != nil {
 		return err
@@ -64,21 +78,22 @@ type Trace = fabric.Trace
 // headline locality metric.
 func GlobalTraffic(tr *Trace, groupOf []int) (global, total int64) {
 	p := 0
-	for _, rec := range tr.Records {
-		if rec.From >= p {
-			p = rec.From + 1
+	n := tr.NumRecords()
+	for i := 0; i < n; i++ {
+		if f := tr.From(i); f >= p {
+			p = f + 1
 		}
-		if rec.To >= p {
-			p = rec.To + 1
+		if t := tr.To(i); t >= p {
+			p = t + 1
 		}
 	}
 	g := make([]int, p)
 	copy(g, groupOf)
 	var gl, tot int64
-	for _, rec := range tr.Records {
-		tot += int64(rec.Elems)
-		if g[rec.From] != g[rec.To] {
-			gl += int64(rec.Elems)
+	for i := 0; i < n; i++ {
+		tot += int64(tr.Elems(i))
+		if g[tr.From(i)] != g[tr.To(i)] {
+			gl += int64(tr.Elems(i))
 		}
 	}
 	return gl, tot
