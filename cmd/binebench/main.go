@@ -113,41 +113,11 @@ func progressPrinter(w io.Writer) harness.ProgressFunc {
 }
 
 func run(w io.Writer, experiment string, opts harness.Options) error {
-	switch experiment {
-	case "all":
+	if experiment == "all" {
 		return harness.RunAll(w, opts)
-	case "fig1":
-		return harness.Fig1(w)
-	case "eq2":
-		return harness.Eq2(w)
-	case "fig5":
-		return harness.Fig5(w, opts)
-	case "table3":
-		return harness.TableBinomial(w, harness.LUMI(), opts)
-	case "fig9a":
-		return harness.HeatmapAllreduce(w, harness.LUMI(), opts)
-	case "fig9b":
-		return harness.Boxplots(w, harness.LUMI(), opts)
-	case "table4":
-		return harness.TableBinomial(w, harness.Leonardo(), opts)
-	case "fig10a":
-		return harness.HeatmapAllreduce(w, harness.Leonardo(), opts)
-	case "fig10b":
-		return harness.Boxplots(w, harness.Leonardo(), opts)
-	case "table5":
-		return harness.TableBinomial(w, harness.MareNostrum(), opts)
-	case "fig11a":
-		return harness.Boxplots(w, harness.MareNostrum(), opts)
-	case "fig11b":
-		return harness.Fig11b(w, opts)
-	case "fig14":
-		return harness.Fig14(w, opts)
-	case "hier":
-		return harness.Hier(w, opts)
-	case "ppn":
-		return harness.PPN(w, opts)
-	case "appD":
-		return harness.AppD(w)
 	}
-	return fmt.Errorf("unknown experiment %q", experiment)
+	// Single experiments compile and render through the same plan path the
+	// binebenchd artifact service uses, so CLI files and served responses
+	// are byte-identical by construction.
+	return harness.RunExperiment(w, experiment, opts)
 }

@@ -1,0 +1,76 @@
+// Command binebenchd serves the Bine Trees paper artifacts over HTTP: a
+// long-running daemon that answers (experiment, systems, scale) requests
+// from warm trace caches instead of re-running the suite per invocation.
+//
+// At startup it prewarms the shared -trace-cache directory — every stored
+// trace is decode-validated (corrupt files are evicted) and the resident
+// footprint is logged — then listens on -addr:
+//
+//	GET /artifact/{experiment}?systems=...&full=...  streamed text artifact
+//	GET /healthz                                     liveness
+//	GET /statsz                                      counters as JSON
+//
+// Responses are byte-identical to the binebench CLI's output for the same
+// request: both compile the experiment through the same plan path and render
+// with the same serial pass (diffed in tests and CI). Identical concurrent
+// requests are deduplicated by singleflight on the compiled plan key, so a
+// thundering herd of the same artifact records each schedule once; all
+// requests share one resident process-wide worker pool and trace cache.
+// Replicas may share one -trace-cache directory: stored traces are written
+// world-readable and corrupt files self-evict on either side.
+//
+// Usage:
+//
+//	binebenchd -addr :8080 -trace-cache /var/cache/binetrees
+//	curl localhost:8080/artifact/fig9a
+//	curl 'localhost:8080/artifact/all?systems=lumi,fugaku&full=true'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"binetrees/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	traceCache := flag.String("trace-cache", "", "directory of the shared persistent trace store, prewarmed at startup (empty = in-process cache only)")
+	workers := flag.Int("workers", 0, "resident worker pool width shared by all requests (0 = one per CPU)")
+	flag.Parse()
+
+	srv, err := service.New(service.Config{TraceDir: *traceCache, Workers: *workers})
+	if err != nil {
+		log.Fatalf("binebenchd: %v", err)
+	}
+	if *traceCache != "" {
+		log.Printf("binebenchd: %v", srv.Prewarm())
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	log.Printf("binebenchd: serving artifacts on %s", *addr)
+
+	select {
+	case err := <-done:
+		log.Fatalf("binebenchd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("binebenchd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("binebenchd: shutdown: %v", err)
+	}
+	srv.Close()
+}

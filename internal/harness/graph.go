@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 
@@ -138,17 +140,22 @@ func steps() []step {
 	}
 }
 
-// selectSteps filters the sequence by system keys (empty selects all).
-func selectSteps(keys []string) ([]step, error) {
-	all := steps()
+// NormalizeSystems canonicalizes a systems selection (the CLI -systems flag,
+// the service's systems= parameter): keys are trimmed and lowercased, blanks
+// dropped, duplicates removed, and the result sorted — the selection is a
+// set, so order never changes the rendering and the canonical form can key
+// request deduplication. Unknown keys and all-blank selections error; an
+// empty input returns nil, meaning "select everything".
+func NormalizeSystems(keys []string) ([]string, error) {
 	if len(keys) == 0 {
-		return all, nil
+		return nil, nil
 	}
 	valid := map[string]bool{}
 	for _, k := range SystemKeys() {
 		valid[k] = true
 	}
-	want := map[string]bool{}
+	seen := map[string]bool{}
+	var out []string
 	for _, k := range keys {
 		k = strings.ToLower(strings.TrimSpace(k))
 		if k == "" {
@@ -157,10 +164,31 @@ func selectSteps(keys []string) ([]step, error) {
 		if !valid[k] {
 			return nil, fmt.Errorf("unknown system %q (have %s)", k, strings.Join(SystemKeys(), ", "))
 		}
-		want[k] = true
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
 	}
-	if len(want) == 0 {
+	if len(out) == 0 {
 		return nil, fmt.Errorf("empty system selection (have %s)", strings.Join(SystemKeys(), ", "))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// selectSteps filters the sequence by system keys (empty selects all).
+func selectSteps(keys []string) ([]step, error) {
+	norm, err := NormalizeSystems(keys)
+	if err != nil {
+		return nil, err
+	}
+	all := steps()
+	if norm == nil {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, k := range norm {
+		want[k] = true
 	}
 	var out []step
 	for _, s := range all {
@@ -180,6 +208,16 @@ func selectSteps(keys []string) ([]step, error) {
 // cross-system sharding — before the artifacts render serially, separated
 // exactly as the per-experiment path separates them.
 func RunAll(w io.Writer, opts Options) error {
+	runner := pool.NewRunner(opts.Workers)
+	defer runner.Close()
+	return RunAllOn(context.Background(), w, runner, opts)
+}
+
+// RunAllOn is RunAll on a caller-owned Runner with context-bounded cell
+// submission — the artifact service's path, where one resident process-wide
+// pool outlives every request. The rendering is the exact byte sequence
+// RunAll emits for the same Options.
+func RunAllOn(ctx context.Context, w io.Writer, runner *pool.Runner, opts Options) error {
 	selected, err := selectSteps(opts.Systems)
 	if err != nil {
 		return fmt.Errorf("harness: %w", err)
@@ -201,9 +239,7 @@ func RunAll(w io.Writer, opts Options) error {
 		}
 	}
 	tracker := newProgressTracker(opts.Progress, flat)
-	runner := pool.NewRunner(opts.Workers)
-	defer runner.Close()
-	if err := runner.ForEach(len(flat), func(i int) error {
+	if err := runner.ForEachCtx(ctx, len(flat), func(i int) error {
 		if err := flat[i].run(); err != nil {
 			return fmt.Errorf("harness: %s: %w", flatStep[i], err)
 		}
@@ -221,4 +257,81 @@ func RunAll(w io.Writer, opts Options) error {
 		}
 	}
 	return nil
+}
+
+// ExperimentNames returns every experiment name in paper order — the valid
+// -experiment values of the CLIs and /artifact/{experiment} endpoints of the
+// service (excluding the "all" aggregate, which concatenates them).
+func ExperimentNames() []string {
+	all := steps()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Experiment is one compiled experiment held for request-scoped execution:
+// independent recording/evaluation cells plus the serial artifact renderer.
+// The artifact service compiles the requested plan, drains its cells on the
+// resident process-wide Runner, and renders into the response stream.
+type Experiment struct {
+	name string
+	p    *plan
+}
+
+// CompileExperiment compiles the named experiment's plan under opts. The
+// name must be one of ExperimentNames.
+func CompileExperiment(name string, opts Options) (*Experiment, error) {
+	for _, s := range steps() {
+		if s.name == name {
+			p, err := s.plan(opts)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s: %w", name, err)
+			}
+			return &Experiment{name: name, p: p}, nil
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown experiment %q", name)
+}
+
+// Name returns the experiment's -experiment / endpoint name.
+func (e *Experiment) Name() string { return e.name }
+
+// Tasks returns the number of schedulable cells the plan compiled to.
+func (e *Experiment) Tasks() int { return len(e.p.tasks) }
+
+// Run drains the experiment's cells on the caller's runner and renders the
+// artifact to w — the same serial render pass the batch CLIs use, so the
+// bytes are identical to a binebench run of the same experiment at any pool
+// width. ctx bounds cell submission: a cancelled request stops dispatching
+// new cells (in-flight ones complete, keeping the shared caches consistent).
+func (e *Experiment) Run(ctx context.Context, w io.Writer, runner *pool.Runner, progress ProgressFunc) error {
+	tracker := newProgressTracker(progress, e.p.tasks)
+	if err := runner.ForEachCtx(ctx, len(e.p.tasks), func(i int) error {
+		if err := e.p.tasks[i].run(); err != nil {
+			return err
+		}
+		tracker.taskDone(e.p.tasks[i].system)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("harness: %s: %w", e.name, err)
+	}
+	if err := e.p.render(w); err != nil {
+		return fmt.Errorf("harness: %s: %w", e.name, err)
+	}
+	return nil
+}
+
+// RunExperiment compiles and executes one named experiment on a private pool
+// of opts.Workers — the single-experiment CLI path. It shares plan
+// compilation and rendering with the service path, so binebench files and
+// binebenchd responses for the same request are byte-identical by
+// construction (and pinned by tests on both sides).
+func RunExperiment(w io.Writer, name string, opts Options) error {
+	e, err := CompileExperiment(name, opts)
+	if err != nil {
+		return err
+	}
+	return runPlan(w, e.p, nil, opts)
 }

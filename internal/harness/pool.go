@@ -69,6 +69,19 @@ func SetTraceStore(dir string) error {
 	return nil
 }
 
+// PrewarmTraceStore decode-validates every file of the configured disk tier
+// (tracestore.Store.Prewarm): valid traces are paged in, corrupt ones are
+// evicted, and the returned stats report the store's footprint — what a
+// long-running artifact server does at startup before accepting requests.
+// Without a configured store it is a no-op reporting zeroes.
+func PrewarmTraceStore() (tracestore.PrewarmStats, error) {
+	s := store.Load()
+	if s == nil {
+		return tracestore.PrewarmStats{}, nil
+	}
+	return s.Prewarm()
+}
+
 // CacheStats snapshots the trace-cache counters: per-tier hits, the
 // recordings performed, and the disk tier's write and eviction activity.
 type CacheStats struct {
@@ -145,9 +158,6 @@ func cachedTraceKey(key tracestore.Key, record func() (*fabric.Trace, error)) (*
 		traceCache.m[key] = e
 	}
 	traceCache.mu.Unlock()
-	if ok {
-		cacheCounters.memHits.Add(1)
-	}
 	e.once.Do(func() {
 		s := store.Load()
 		if tr, hit := s.Load(key); hit {
@@ -178,6 +188,12 @@ func cachedTraceKey(key tracestore.Key, record func() (*fabric.Trace, error)) (*
 			delete(traceCache.m, key)
 		}
 		traceCache.mu.Unlock()
+	} else if ok {
+		// A memory hit is only counted once the found entry has resolved
+		// successfully: waiters that pile onto a mid-recording entry which
+		// then errors and evicts were never served from the warm tier, and
+		// counting them made -v over-report warm hits under concurrency.
+		cacheCounters.memHits.Add(1)
 	}
 	return e.tr, e.err
 }

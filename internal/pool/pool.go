@@ -3,6 +3,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -109,14 +110,29 @@ func (r *Runner) Close() {
 // always runs and its error is returned — the same error a serial loop
 // would stop on.
 func (r *Runner) ForEach(n int, fn func(i int) error) error {
+	return r.ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx is ForEach bounded by a context — the request-scoped form used
+// by the artifact service, whose resident Runner outlives any one request:
+// once ctx is cancelled no further indices are submitted (already-submitted
+// indices still run to completion, so shared state stays consistent), and
+// ctx.Err() is returned unless a submitted index failed first, in which case
+// the usual lowest-failing-index error wins.
+func (r *Runner) ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var failed atomic.Bool
 	var wg sync.WaitGroup
+	cancelled := false
 	for i := 0; i < n; i++ {
 		// As in the package-level ForEach, the failure check precedes the
 		// claim (here: the submission), so a raised flag necessarily comes
 		// from an already-submitted, lower index.
 		if failed.Load() {
+			break
+		}
+		if ctx.Err() != nil {
+			cancelled = true
 			break
 		}
 		i := i
@@ -134,6 +150,9 @@ func (r *Runner) ForEach(n int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if cancelled {
+		return ctx.Err()
 	}
 	return nil
 }

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// broadcast is an append-only byte stream with any number of readers: the
+// flight leader renders into it while every request on the same flight —
+// including ones that join mid-render — streams it from offset zero. Bytes
+// at an index below the published length are never rewritten, so readers
+// copy nothing and hold no lock while writing chunks to their connections.
+type broadcast struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []byte
+	done bool
+	err  error
+}
+
+func newBroadcast() *broadcast {
+	b := &broadcast{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Write appends a rendered chunk and wakes every streaming reader.
+func (b *broadcast) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	b.buf = append(b.buf, p...)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+// finish marks the stream complete with the render's error and wakes all
+// readers. Write must not be called afterwards.
+func (b *broadcast) finish(err error) {
+	b.mu.Lock()
+	b.done, b.err = true, err
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// wake kicks the condition so readers re-check their contexts; registered
+// via context.AfterFunc per waiting reader.
+func (b *broadcast) wake() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// waitReady blocks until the stream has produced its first byte or finished,
+// and returns the render error if it failed before producing any output —
+// the window in which a handler can still choose the HTTP status code.
+func (b *broadcast) waitReady(ctx context.Context) error {
+	defer context.AfterFunc(ctx, b.wake)()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.buf) == 0 && !b.done {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b.cond.Wait()
+	}
+	if len(b.buf) == 0 && b.err != nil {
+		return b.err
+	}
+	return nil
+}
+
+// streamTo copies the broadcast to w from offset zero as it grows, flushing
+// after every chunk when w supports it, until the stream finishes, the
+// reader's context is cancelled, or w fails (a disconnected client). It
+// returns the bytes written and the first error among those.
+func (b *broadcast) streamTo(ctx context.Context, w io.Writer) (int64, error) {
+	defer context.AfterFunc(ctx, b.wake)()
+	fl, _ := w.(http.Flusher)
+	var off int
+	for {
+		b.mu.Lock()
+		for off == len(b.buf) && !b.done && ctx.Err() == nil {
+			b.cond.Wait()
+		}
+		// Snapshot the slice header under the lock — Write's append may
+		// reassign it concurrently; the published bytes themselves are
+		// immutable, so the snapshot is safely read lock-free.
+		buf := b.buf
+		end := len(buf)
+		done, err := b.done, b.err
+		b.mu.Unlock()
+		if off < end {
+			n, werr := w.Write(buf[off:end])
+			off += n
+			if werr != nil {
+				return int64(off), werr
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			continue
+		}
+		if done {
+			return int64(off), err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return int64(off), cerr
+		}
+	}
+}
+
+// flightGroup deduplicates identical concurrent requests: all requests
+// sharing a compiled-plan key attach to one in-flight render (singleflight),
+// so a thundering herd of the same artifact executes each schedule once and
+// every caller streams the same bytes.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*broadcast
+	wg sync.WaitGroup
+}
+
+// do returns the broadcast carrying the rendering for key, launching render
+// on a new goroutine when no identical request is in flight. joined reports
+// whether an existing flight was reused. The render runs to completion even
+// if every reader disconnects — its work warms the shared caches either way.
+func (g *flightGroup) do(key string, render func(w io.Writer) error) (b *broadcast, joined bool) {
+	g.mu.Lock()
+	if b, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		return b, true
+	}
+	b = newBroadcast()
+	if g.m == nil {
+		g.m = map[string]*broadcast{}
+	}
+	g.m[key] = b
+	g.wg.Add(1)
+	g.mu.Unlock()
+	go func() {
+		defer g.wg.Done()
+		b.finish(render(b))
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	return b, false
+}
+
+// wait blocks until every launched render has finished. Flights outlive
+// their requests by design, so a server shutting shared resources down (the
+// resident Runner) must drain them first.
+func (g *flightGroup) wait() { g.wg.Wait() }

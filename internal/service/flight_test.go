@@ -1,0 +1,177 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupSingleflight is the deterministic dedup pin: a herd of
+// callers on one key runs exactly one render (held open until every caller
+// has attached), every caller streams the identical bytes, and once the
+// flight completes the key is released for a fresh render.
+func TestFlightGroupSingleflight(t *testing.T) {
+	g := &flightGroup{}
+	var renders, joins atomic.Int32
+	release := make(chan struct{})
+	const lanes = 16
+	results := make([]string, lanes)
+	var wg sync.WaitGroup
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, joined := g.do("key", func(w io.Writer) error {
+				renders.Add(1)
+				io.WriteString(w, "artifact ")
+				<-release
+				io.WriteString(w, "bytes")
+				return nil
+			})
+			if joined {
+				joins.Add(1)
+			}
+			var sb strings.Builder
+			if _, err := b.streamTo(context.Background(), &sb); err != nil {
+				t.Error(err)
+			}
+			results[i] = sb.String()
+		}()
+	}
+	// The leader blocks on release, so the flight stays open until every
+	// other lane has joined it.
+	for joins.Load() != lanes-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := renders.Load(); n != 1 {
+		t.Fatalf("%d renders for %d identical concurrent requests, want 1", n, lanes)
+	}
+	for i, r := range results {
+		if r != "artifact bytes" {
+			t.Fatalf("lane %d streamed %q", i, r)
+		}
+	}
+	// Completion releases the key: the next identical request renders anew.
+	for {
+		g.mu.Lock()
+		n := len(g.m)
+		g.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	b, joined := g.do("key", func(w io.Writer) error {
+		renders.Add(1)
+		io.WriteString(w, "fresh")
+		return nil
+	})
+	if joined {
+		t.Fatal("joined a completed flight")
+	}
+	var sb strings.Builder
+	if _, err := b.streamTo(context.Background(), &sb); err != nil || sb.String() != "fresh" {
+		t.Fatalf("fresh flight streamed %q, %v", sb.String(), err)
+	}
+	if renders.Load() != 2 {
+		t.Fatalf("renders %d after the key was released, want 2", renders.Load())
+	}
+}
+
+// TestBroadcastMidStreamJoin pins the streaming contract: a reader that
+// joins while the render is mid-flight still receives the full output from
+// byte zero, and readers observe chunks before the render completes.
+func TestBroadcastMidStreamJoin(t *testing.T) {
+	g := &flightGroup{}
+	step := make(chan struct{})
+	b1, joined := g.do("k", func(w io.Writer) error {
+		io.WriteString(w, "hello ")
+		<-step
+		io.WriteString(w, "world")
+		return nil
+	})
+	if joined {
+		t.Fatal("first request joined a flight")
+	}
+	// The first chunk is observable while the render is still blocked.
+	if err := b1.waitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	b2, joined := g.do("k", func(io.Writer) error {
+		t.Error("second render started for an in-flight key")
+		return nil
+	})
+	if !joined || b2 != b1 {
+		t.Fatal("identical request did not join the in-flight render")
+	}
+	close(step)
+	for _, b := range []*broadcast{b1, b2} {
+		var sb strings.Builder
+		if _, err := b.streamTo(context.Background(), &sb); err != nil {
+			t.Fatal(err)
+		}
+		if sb.String() != "hello world" {
+			t.Fatalf("streamed %q, want %q", sb.String(), "hello world")
+		}
+	}
+}
+
+// TestBroadcastErrorPaths covers failures on both sides of the first byte:
+// before any output the error surfaces from waitReady (a handler can still
+// pick the status code); after output it surfaces from streamTo.
+func TestBroadcastErrorPaths(t *testing.T) {
+	boom := errors.New("boom")
+	b := newBroadcast()
+	b.finish(boom)
+	if err := b.waitReady(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("waitReady = %v, want boom", err)
+	}
+	if n, err := b.streamTo(context.Background(), io.Discard); n != 0 || !errors.Is(err, boom) {
+		t.Fatalf("streamTo = %d, %v", n, err)
+	}
+
+	b = newBroadcast()
+	io.WriteString(b, "partial")
+	b.finish(boom)
+	if err := b.waitReady(context.Background()); err != nil {
+		t.Fatalf("waitReady with buffered output = %v, want nil", err)
+	}
+	var sb strings.Builder
+	if n, err := b.streamTo(context.Background(), &sb); n != 7 || sb.String() != "partial" || !errors.Is(err, boom) {
+		t.Fatalf("streamTo = %d %q %v", n, sb.String(), err)
+	}
+}
+
+// TestBroadcastContextCancel ensures blocked readers wake on cancellation
+// instead of hanging on the condition variable.
+func TestBroadcastContextCancel(t *testing.T) {
+	b := newBroadcast() // never written, never finished
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := b.waitReady(ctx); !errors.Is(err, context.Canceled) {
+			t.Errorf("waitReady = %v, want context.Canceled", err)
+		}
+		if _, err := b.streamTo(ctx, io.Discard); !errors.Is(err, context.Canceled) {
+			t.Errorf("streamTo = %v, want context.Canceled", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader did not wake on context cancellation")
+	}
+}

@@ -1,0 +1,228 @@
+// Package service exposes the experiment harness as a long-running HTTP
+// artifact service — the binebenchd daemon. Each /artifact request compiles
+// the named experiment into the PR 3 plan form, drains its recording and
+// evaluation cells on one resident process-wide pool.Runner, and streams the
+// rendered artifact as it is produced; responses are byte-identical to the
+// binebench CLI's files for the same request (pinned by tests and CI).
+// Identical concurrent requests are deduplicated by singleflight on the
+// compiled plan key, so a thundering herd records each schedule once, and
+// the shared -trace-cache directory is prewarmed (decode-validated, corrupt
+// files evicted) before the server accepts traffic.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"binetrees/internal/harness"
+	"binetrees/internal/pool"
+	"binetrees/internal/tracestore"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// TraceDir is the shared persistent trace store directory, prewarmed at
+	// startup; empty serves from the in-process cache only.
+	TraceDir string
+	// Workers bounds the resident Runner (<= 0: one per CPU).
+	Workers int
+}
+
+// Server is the artifact service: a resident worker pool, the singleflight
+// table, and the request counters behind /statsz.
+type Server struct {
+	runner  *pool.Runner
+	flights flightGroup
+	prewarm tracestore.PrewarmStats
+	start   time.Time
+	ctx     context.Context // bounds cell submission; cancelled by Close
+	cancel  context.CancelFunc
+
+	requests, renders, joins, failures, bytesOut atomic.Uint64
+}
+
+// New configures the process-wide trace store, prewarms it, and returns a
+// serving-ready Server owning a resident Runner.
+func New(cfg Config) (*Server, error) {
+	if err := harness.SetTraceStore(cfg.TraceDir); err != nil {
+		return nil, err
+	}
+	ps, err := harness.PrewarmTraceStore()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		runner:  pool.NewRunner(cfg.Workers),
+		prewarm: ps,
+		start:   time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+	}, nil
+}
+
+// Prewarm reports the startup validation pass over the trace store.
+func (s *Server) Prewarm() tracestore.PrewarmStats { return s.prewarm }
+
+// Close stops new cell submission, drains the in-flight renders (which run
+// detached from their requests and may still be submitting cells), and only
+// then shuts the resident pool down — closing the pool under a live flight
+// would panic its next submission.
+func (s *Server) Close() {
+	s.cancel()
+	s.flights.wait()
+	s.runner.Close()
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	GET /artifact/{experiment}?systems=...&full=...  the artifact, streamed
+//	GET /healthz                                     liveness
+//	GET /statsz                                      counters as JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /artifact/{experiment}", s.artifact)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /statsz", s.statsz)
+	return mux
+}
+
+// renderGate, when non-nil, blocks a flight leader before its plan executes.
+// Test-only: it holds a render open until a herd of identical requests has
+// piled onto the flight, making the singleflight assertions deterministic.
+var renderGate func()
+
+// parseRequest validates an artifact request against the same rules as the
+// binebench flags: any experiment name (or "all"), full as a boolean, and
+// systems only meaningful — and only accepted — with "all".
+func parseRequest(r *http.Request) (name string, full bool, systems []string, code int, err error) {
+	name = r.PathValue("experiment")
+	known := name == "all"
+	for _, n := range harness.ExperimentNames() {
+		known = known || n == name
+	}
+	if !known {
+		return "", false, nil, http.StatusNotFound, fmt.Errorf("unknown experiment %q", name)
+	}
+	q := r.URL.Query()
+	if v := q.Get("full"); v != "" {
+		full, err = strconv.ParseBool(v)
+		if err != nil {
+			return "", false, nil, http.StatusBadRequest, fmt.Errorf("full=%q is not a boolean", v)
+		}
+	}
+	if v := q.Get("systems"); v != "" {
+		if name != "all" {
+			return "", false, nil, http.StatusBadRequest, fmt.Errorf("systems only applies to the all experiment")
+		}
+		// NormalizeSystems sorts and dedups, so the canonical form keys the
+		// flight table: differently-ordered identical selections dedup too.
+		systems, err = harness.NormalizeSystems(strings.Split(v, ","))
+		if err != nil {
+			return "", false, nil, http.StatusBadRequest, err
+		}
+	}
+	return name, full, systems, 0, nil
+}
+
+func (s *Server) artifact(w http.ResponseWriter, r *http.Request) {
+	name, full, systems, code, err := parseRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), code)
+		return
+	}
+	s.requests.Add(1)
+	opts := harness.Options{Quick: !full, Systems: systems}
+	key := fmt.Sprintf("%s|full=%v|systems=%s", name, full, strings.Join(systems, ","))
+	b, joined := s.flights.do(key, func(fw io.Writer) error {
+		s.renders.Add(1)
+		if renderGate != nil {
+			renderGate()
+		}
+		if name == "all" {
+			return harness.RunAllOn(s.ctx, fw, s.runner, opts)
+		}
+		e, err := harness.CompileExperiment(name, opts)
+		if err != nil {
+			return err
+		}
+		return e.Run(s.ctx, fw, s.runner, nil)
+	})
+	if joined {
+		s.joins.Add(1)
+	}
+	if err := b.waitReady(r.Context()); err != nil {
+		if r.Context().Err() != nil {
+			return // client gave up before the first byte
+		}
+		s.failures.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	n, err := b.streamTo(r.Context(), w)
+	s.bytesOut.Add(uint64(n))
+	if err != nil && r.Context().Err() == nil {
+		// The render failed mid-stream: the 200 header is out, so abort the
+		// connection instead of passing a truncated body off as complete.
+		s.failures.Add(1)
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// Stats is the /statsz document.
+type Stats struct {
+	// UptimeSeconds is the time since New.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Workers is the resident pool width shared by all requests.
+	Workers int `json:"workers"`
+	// Experiments lists the valid /artifact/{experiment} names.
+	Experiments []string `json:"experiments"`
+	// Requests counts accepted artifact requests; Renders the plan
+	// executions actually performed; DedupJoins the requests served by
+	// joining an identical in-flight render; Failures the requests that
+	// surfaced a render error.
+	Requests   uint64 `json:"requests"`
+	Renders    uint64 `json:"renders"`
+	DedupJoins uint64 `json:"dedup_joins"`
+	Failures   uint64 `json:"failures"`
+	// BytesServed totals artifact bytes written to clients.
+	BytesServed uint64 `json:"bytes_served"`
+	// Prewarm reports the startup store validation; Cache the live trace
+	// cache counters (including the resident columnar footprint).
+	Prewarm tracestore.PrewarmStats `json:"prewarm"`
+	Cache   harness.CacheStats      `json:"cache"`
+}
+
+// Snapshot captures the live counters.
+func (s *Server) Snapshot() Stats {
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.runner.Workers(),
+		Experiments:   harness.ExperimentNames(),
+		Requests:      s.requests.Load(),
+		Renders:       s.renders.Load(),
+		DedupJoins:    s.joins.Load(),
+		Failures:      s.failures.Load(),
+		BytesServed:   s.bytesOut.Load(),
+		Prewarm:       s.prewarm,
+		Cache:         harness.TraceCacheStats(),
+	}
+}
+
+func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}

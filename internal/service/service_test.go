@@ -1,0 +1,218 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"binetrees/internal/fabric"
+	"binetrees/internal/harness"
+	"binetrees/internal/tracestore"
+)
+
+// newTestServer builds a Server over a clean trace cache and an httptest
+// frontend, undoing the process-global store configuration afterwards.
+func newTestServer(t *testing.T, traceDir string) (*Server, *httptest.Server) {
+	t.Helper()
+	harness.ResetTraceCache()
+	srv, err := New(Config{TraceDir: traceDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		if err := harness.SetTraceStore(""); err != nil {
+			t.Error(err)
+		}
+		harness.ResetTraceCache()
+	})
+	return srv, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestArtifactByteIdentity pins the serving contract: every quick-mode
+// experiment — and the systems-selected "all" aggregate — is served
+// byte-identical to what the binebench CLI writes for the same request.
+// The CLI reference renders share the process trace cache with the server,
+// so the suite records each schedule once however it is asked for.
+func TestArtifactByteIdentity(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	for _, name := range harness.ExperimentNames() {
+		var want strings.Builder
+		if err := harness.RunExperiment(&want, name, harness.Options{Quick: true}); err != nil {
+			t.Fatal(err)
+		}
+		code, body := get(t, ts.URL+"/artifact/"+name)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, code, body)
+		}
+		if body != want.String() {
+			t.Fatalf("%s: served artifact diverges from the CLI rendering:\n--- served ---\n%s\n--- cli ---\n%s", name, body, want.String())
+		}
+	}
+	var want strings.Builder
+	if err := harness.RunAll(&want, harness.Options{Quick: true, Systems: []string{"misc"}}); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, ts.URL+"/artifact/all?systems=misc")
+	if code != http.StatusOK {
+		t.Fatalf("all: status %d: %s", code, body)
+	}
+	if body != want.String() {
+		t.Fatal("served all?systems=misc diverges from the CLI rendering")
+	}
+}
+
+// TestSingleflightDedup is the thundering-herd pin at the HTTP layer: a herd
+// of identical concurrent requests performs exactly one render and exactly
+// one recording per schedule; every response carries the identical bytes.
+// The render gate holds the flight open until the whole herd has attached,
+// so the assertions are deterministic (and a broken singleflight fails the
+// counters instead of deadlocking, because the gate times out).
+func TestSingleflightDedup(t *testing.T) {
+	// Reference pass: the artifact bytes and the per-schedule recording
+	// count of a cold fig1 render.
+	harness.ResetTraceCache()
+	var want strings.Builder
+	if err := harness.RunExperiment(&want, "fig1", harness.Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	recordsRef := harness.TraceCacheStats().Records
+	if recordsRef == 0 {
+		t.Fatal("reference render recorded nothing")
+	}
+
+	srv, ts := newTestServer(t, "")
+	const herd = 8
+	deadline := time.Now().Add(10 * time.Second)
+	renderGate = func() {
+		for srv.joins.Load() < herd-1 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	defer func() { renderGate = nil }()
+
+	bodies := make([]string, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, body := get(t, ts.URL+"/artifact/fig1")
+			if code != http.StatusOK {
+				t.Errorf("status %d: %s", code, body)
+			}
+			bodies[i] = body
+		}()
+	}
+	wg.Wait()
+	for i, b := range bodies {
+		if b != want.String() {
+			t.Fatalf("request %d diverges from the CLI rendering:\n%s", i, b)
+		}
+	}
+	snap := srv.Snapshot()
+	if snap.Requests != herd || snap.Renders != 1 || snap.DedupJoins != herd-1 {
+		t.Fatalf("herd of %d: %d requests, %d renders, %d joins — want %d/1/%d",
+			herd, snap.Requests, snap.Renders, snap.DedupJoins, herd, herd-1)
+	}
+	if snap.Cache.Records != recordsRef {
+		t.Fatalf("herd recorded %d schedules, want %d (one per schedule)", snap.Cache.Records, recordsRef)
+	}
+	if snap.Failures != 0 || snap.BytesServed != uint64(herd*len(want.String())) {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+// TestRequestValidation covers the error surface: unknown experiments 404,
+// malformed or misaddressed parameters 400, and the health/stats endpoints.
+func TestRequestValidation(t *testing.T) {
+	srv, ts := newTestServer(t, "")
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/artifact/nope", http.StatusNotFound},
+		{"/artifact/fig1?systems=lumi", http.StatusBadRequest},
+		{"/artifact/all?systems=bogus", http.StatusBadRequest},
+		{"/artifact/all?systems=,", http.StatusBadRequest},
+		{"/artifact/fig1?full=banana", http.StatusBadRequest},
+		{"/artifact/", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		if code, body := get(t, ts.URL+c.path); code != c.code {
+			t.Fatalf("%s: status %d want %d (%s)", c.path, code, c.code, body)
+		}
+	}
+	if srv.Snapshot().Requests != 0 {
+		t.Fatal("rejected requests counted as accepted")
+	}
+
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	code, body := get(t, ts.URL+"/statsz")
+	if code != http.StatusOK {
+		t.Fatalf("statsz: %d", code)
+	}
+	var stats Stats
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("statsz not JSON: %v\n%s", err, body)
+	}
+	if stats.Workers <= 0 || len(stats.Experiments) != len(harness.ExperimentNames()) {
+		t.Fatalf("statsz %+v", stats)
+	}
+}
+
+// TestServicePrewarm pins the startup pass: the shared store directory is
+// decode-validated before serving — valid traces counted with their
+// footprint, corrupt files evicted.
+func TestServicePrewarm(t *testing.T) {
+	dir := t.TempDir()
+	st, err := tracestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := fabric.NewTrace(4, []fabric.Record{{From: 0, To: 1, Step: 0, Elems: 1}})
+	key := tracestore.Key{Kind: "flat", Collective: "bcast", Algo: "x", Shape: "4", SchedVersion: 1}
+	if err := st.Save(key, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef.trace"), []byte("BTRCgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, dir)
+	ps := srv.Prewarm()
+	if ps.Files != 2 || ps.Valid != 1 || ps.Corrupt != 1 || ps.MemBytes != tr.MemBytes() {
+		t.Fatalf("prewarm %+v", ps)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "deadbeef.trace")); !os.IsNotExist(err) {
+		t.Fatal("prewarm left the corrupt file in place")
+	}
+	code, body := get(t, ts.URL+"/statsz")
+	if code != http.StatusOK || !strings.Contains(body, "\"prewarm\"") {
+		t.Fatalf("statsz after prewarm: %d\n%s", code, body)
+	}
+}

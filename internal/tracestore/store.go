@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 
 	"binetrees/internal/fabric"
@@ -87,6 +88,11 @@ func (s *Store) path(k Key) string {
 	return filepath.Join(s.dir, k.addr()+".trace")
 }
 
+// statFile fingerprints an open store file for Load's eviction compare. A
+// package variable so tests can force the no-fingerprint fallback, which is
+// otherwise unreachable on a healthy filesystem.
+var statFile = (*os.File).Stat
+
 // Load returns the stored trace for the key, or ok=false on any miss: no
 // file, unreadable file, or a file that fails to decode (stale codec,
 // truncation, corruption). Undecodable files are evicted so the slot is
@@ -100,7 +106,7 @@ func (s *Store) Load(k Key) (tr *fabric.Trace, ok bool) {
 		s.misses.Add(1)
 		return nil, false
 	}
-	fi, statErr := f.Stat()
+	fi, statErr := statFile(f)
 	// Read the whole file into an exactly sized buffer and decode in place:
 	// full-scale traces run to hundreds of megabytes, and a growing
 	// io.ReadAll buffer would copy them several times over.
@@ -116,21 +122,35 @@ func (s *Store) Load(k Key) (tr *fabric.Trace, ok bool) {
 		tr, err = fabric.DecodeTraceBytes(raw)
 	}
 	if err != nil {
-		// Evict the damaged file — but only if the path still names the
-		// file we read: in a store shared across processes, a concurrent
-		// Save may have renamed a fresh valid trace into place. The
-		// stat-and-compare narrows that race to a vanishing window rather
-		// than eliminating it; losing the race merely deletes a trace the
-		// next run re-records and re-saves, never corrupts one.
-		if cur, err := os.Stat(s.path(k)); statErr == nil && err == nil && os.SameFile(fi, cur) {
-			os.Remove(s.path(k))
+		if statErr != nil {
+			fi = nil // no fingerprint: evict unconditionally
 		}
+		s.evict(s.path(k), fi)
 		s.corrupt.Add(1)
 		s.misses.Add(1)
 		return nil, false
 	}
 	s.hits.Add(1)
 	return tr, true
+}
+
+// evict removes a damaged store file — but, given a fingerprint of the file
+// that was actually read, only if the path still names that file: in a store
+// shared across processes, a concurrent Save may have renamed a fresh valid
+// trace into place. The stat-and-compare narrows that race to a vanishing
+// window rather than eliminating it; losing the race merely deletes a trace
+// the next run re-records and re-saves, never corrupts one. With no
+// fingerprint (fi == nil) the removal is unconditional best-effort:
+// leaving the file in place would re-read and re-count it as corrupt on
+// every future run.
+func (s *Store) evict(path string, fi os.FileInfo) {
+	if fi != nil {
+		cur, err := os.Stat(path)
+		if err != nil || !os.SameFile(fi, cur) {
+			return
+		}
+	}
+	os.Remove(path)
 }
 
 // Save writes the trace under the key's content address. The write is
@@ -150,6 +170,14 @@ func (s *Store) Save(k Key, tr *fabric.Trace) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("tracestore: encoding %s: %w", k.addr(), err)
 	}
+	// CreateTemp opens the file 0600; a rename would carry that mode into
+	// the store, so directories shared across users or service replicas
+	// (and CI cache restores) would hold traces other readers cannot open.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tracestore: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("tracestore: %w", err)
@@ -160,6 +188,79 @@ func (s *Store) Save(k Key, tr *fabric.Trace) error {
 	}
 	s.saves.Add(1)
 	return nil
+}
+
+// PrewarmStats summarizes one Prewarm pass over the store directory.
+type PrewarmStats struct {
+	// Files counts the trace files examined; Valid the ones that decoded
+	// cleanly; Corrupt the ones that failed to decode and were evicted.
+	Files, Valid, Corrupt int
+	// FileBytes totals the encoded size of the valid files. MemBytes totals
+	// their decoded columnar footprint (fabric.Trace.MemBytes) — what a
+	// process resident-caching every stored trace would grow to.
+	FileBytes, MemBytes int64
+}
+
+func (ps PrewarmStats) String() string {
+	return fmt.Sprintf("trace store prewarm: %d files, %d valid (%.1f MiB encoded, %.1f MiB columnar), %d corrupt evicted",
+		ps.Files, ps.Valid, float64(ps.FileBytes)/(1<<20), float64(ps.MemBytes)/(1<<20), ps.Corrupt)
+}
+
+// Prewarm decode-validates every trace file in the store directory: valid
+// files are read in full (paging them into the OS cache so the first
+// request-time Load runs warm) and undecodable ones are evicted, so a
+// long-running server starts against a shared cache directory in a
+// known-good state instead of discovering damage one request at a time.
+// Temp files of in-flight Saves are not matched. Corrupt evictions count
+// into the store's lifetime Stats; hit/miss counters are untouched.
+func (s *Store) Prewarm() (PrewarmStats, error) {
+	var ps PrewarmStats
+	if !s.Enabled() {
+		return ps, nil
+	}
+	// ReadDir, not filepath.Glob: a store path containing glob
+	// metacharacters ('[', '?', '*') would corrupt the pattern.
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return ps, fmt.Errorf("tracestore: %w", err)
+	}
+	for _, entry := range entries {
+		if entry.IsDir() || !strings.HasSuffix(entry.Name(), ".trace") {
+			continue
+		}
+		path := filepath.Join(s.dir, entry.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			continue // vanished under a concurrent eviction: nothing to validate
+		}
+		ps.Files++
+		fi, statErr := statFile(f)
+		var raw []byte
+		if statErr == nil {
+			raw = make([]byte, fi.Size())
+			_, err = io.ReadFull(f, raw)
+		} else {
+			raw, err = io.ReadAll(f)
+		}
+		f.Close()
+		var tr *fabric.Trace
+		if err == nil {
+			tr, err = fabric.DecodeTraceBytes(raw)
+		}
+		if err != nil {
+			if statErr != nil {
+				fi = nil
+			}
+			s.evict(path, fi)
+			s.corrupt.Add(1)
+			ps.Corrupt++
+			continue
+		}
+		ps.Valid++
+		ps.FileBytes += int64(len(raw))
+		ps.MemBytes += tr.MemBytes()
+	}
+	return ps, nil
 }
 
 // Stats snapshots the lifetime counters.

@@ -1,9 +1,11 @@
 package tracestore
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"binetrees/internal/fabric"
@@ -116,6 +118,187 @@ func TestStoreEvictsCorruptFiles(t *testing.T) {
 	}
 	if _, ok := s.Load(k); !ok {
 		t.Fatal("re-saved trace not found")
+	}
+}
+
+// TestStoreEvictsCorruptFileWithoutFingerprint is the regression test for
+// the silent non-eviction bug: when the open-time Stat fails there is no
+// fingerprint to compare, and Load used to leave the garbled file in place —
+// re-read and re-counted as corrupt on every future run. It must now fall
+// back to a best-effort unconditional remove.
+func TestStoreEvictsCorruptFileWithoutFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("ring", 1)
+	if err := s.Save(k, testTrace(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("files %v err %v", files, err)
+	}
+	if err := os.WriteFile(files[0], []byte("BTRCgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orig := statFile
+	statFile = func(*os.File) (os.FileInfo, error) { return nil, errors.New("stat disabled") }
+	defer func() { statFile = orig }()
+	if _, ok := s.Load(k); ok {
+		t.Fatal("corrupt file loaded")
+	}
+	if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+		t.Fatal("corrupt file not evicted when Stat failed")
+	}
+	if st := s.Stats(); st.CorruptEvictions != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// A healthy file still loads through the ReadAll fallback path.
+	if err := s.Save(k, testTrace(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(k); !ok {
+		t.Fatal("valid trace not loaded without a fingerprint")
+	}
+}
+
+// TestStoreSaveFileMode pins the mode of stored traces: CreateTemp's 0600
+// must not survive the rename, or store directories shared across users and
+// service replicas hold files other readers cannot open.
+func TestStoreSaveFileMode(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(testKey("ring", 1), testTrace(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("files %v err %v", files, err)
+	}
+	fi, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Mode().Perm(); got != 0o644 {
+		t.Fatalf("stored trace mode %o, want 644", got)
+	}
+}
+
+// TestStoreLoadEvictSaveRace hammers the Load-evicts / Save-renames window
+// of a shared store directory: one goroutine garbles the key's file directly
+// and Loads (triggering evictions), another Saves the valid trace and Loads.
+// The invariants — every successful Load yields the valid trace, and once
+// the corrupter stops a single Save always makes the key loadable (no valid
+// trace is ever lost to a stale eviction) — must hold with -race clean.
+func TestStoreLoadEvictSaveRace(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("ring", 1)
+	valid := testTrace(8, 1)
+	path := s.path(k)
+	const iters = 300
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errc := make(chan error, 2*iters)
+	go func() { // corrupter
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := os.WriteFile(path, []byte("BTRCgarbage"), 0o644); err != nil {
+				errc <- err
+				return
+			}
+			if tr, ok := s.Load(k); ok && !reflect.DeepEqual(tr, valid) {
+				errc <- errors.New("Load returned a trace that is neither valid nor a miss")
+				return
+			}
+		}
+	}()
+	go func() { // saver
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := s.Save(k, valid); err != nil {
+				errc <- err
+				return
+			}
+			if tr, ok := s.Load(k); ok && !reflect.DeepEqual(tr, valid) {
+				errc <- errors.New("Load returned a garbled trace")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	// Quiescent recovery: with the corrupter gone, one Save must stick.
+	if err := s.Save(k, valid); err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := s.Load(k)
+	if !ok || !reflect.DeepEqual(tr, valid) {
+		t.Fatal("valid trace lost after the race settled")
+	}
+}
+
+// TestStorePrewarm covers the startup validation pass: valid files are
+// counted with their encoded and columnar sizes, corrupt ones are evicted,
+// and in-flight temp files are ignored.
+func TestStorePrewarm(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := testTrace(8, 1), testTrace(16, 2)
+	if err := s.Save(testKey("ring", 1), t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(testKey("swing", 1), t2); err != nil {
+		t.Fatal(err)
+	}
+	badKey := testKey("bruck", 1)
+	if err := s.Save(badKey, testTrace(8, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(badKey), []byte("BTRCgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".abc.tmp-1"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := s.Prewarm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Files != 3 || ps.Valid != 2 || ps.Corrupt != 1 {
+		t.Fatalf("prewarm stats %+v", ps)
+	}
+	if ps.FileBytes <= 0 || ps.MemBytes != t1.MemBytes()+t2.MemBytes() {
+		t.Fatalf("prewarm sizes %+v (want MemBytes %d)", ps, t1.MemBytes()+t2.MemBytes())
+	}
+	if _, err := os.Stat(s.path(badKey)); !os.IsNotExist(err) {
+		t.Fatal("prewarm did not evict the corrupt file")
+	}
+	if st := s.Stats(); st.CorruptEvictions != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The two valid traces still load.
+	if _, ok := s.Load(testKey("ring", 1)); !ok {
+		t.Fatal("valid trace missing after prewarm")
+	}
+	// A disabled store prewarms to nothing.
+	var disabled *Store
+	if ps, err := disabled.Prewarm(); err != nil || ps != (PrewarmStats{}) {
+		t.Fatalf("disabled prewarm %+v err %v", ps, err)
 	}
 }
 
