@@ -12,6 +12,7 @@ import (
 	"binetrees/internal/fabric"
 	"binetrees/internal/harness"
 	"binetrees/internal/netsim"
+	"binetrees/internal/synth"
 	"binetrees/internal/topology"
 )
 
@@ -295,6 +296,56 @@ func BenchmarkSweepStore(b *testing.B) {
 			sweep(b)
 		}
 	})
+}
+
+// BenchmarkSynthRing tracks the cold-path trajectory record → synth for the
+// suite's heaviest flat schedule (allreduce/ring): direct synthesis from
+// schedule math vs the same schedule executed on the recording goroutine
+// fabric at p=1024, plus — skipped under -short — synthesis at the
+// paper-scale p=8192 the Fugaku sweep needs (its ~134M-record trace is
+// exactly the recording synthesis exists to avoid, so the fabric leg stays
+// at p=1024). Replay cost for comparison lives in
+// BenchmarkEvaluateSizes/BENCH_pipeline.json.
+func BenchmarkSynthRing(b *testing.B) {
+	a, ok := coll.Find(coll.Registry(), coll.CAllreduce, "ring")
+	if !ok {
+		b.Fatal("ring not registered")
+	}
+	synthBench := func(p int) func(b *testing.B) {
+		return func(b *testing.B) {
+			s, err := a.Pattern(p, 0, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := synth.Schedule(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("synth-p1024", synthBench(1024))
+	b.Run("record-p1024", func(b *testing.B) {
+		run, err := a.Make(1024, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			rec := fabric.NewRecorder(fabric.NewMem(1024))
+			err := fabric.Run(rec, func(c fabric.Comm) error {
+				return run(c, 0, make([]int32, 1024), nil, coll.OpSum)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec.Trace()
+			rec.Close()
+		}
+	})
+	if !testing.Short() {
+		b.Run("synth-p8192", synthBench(8192))
+	}
 }
 
 // BenchmarkEvaluateSizes compares per-size trace replay against the batched

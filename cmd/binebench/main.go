@@ -13,16 +13,21 @@
 // Receive deadlines in the recording fabric scale with the schedule
 // length, so full-scale recordings (the 8192-node Fugaku ring) complete
 // instead of tripping the flat timeout. Artifacts are byte-identical at
-// any pool width and sharding (pinned by tests). Recording is sharded per
-// sender and traces are stored columnar (struct-of-arrays int32, half the
-// bytes of the former record slices), with replay running off the step
-// index, cached routes and dense scratch — see EXPERIMENTS.md
-// "Performance". With -trace-cache the recordings also persist to a
-// content-addressed on-disk store shared across runs — a warm store makes
-// repeated -full runs and CI sweeps skip every recording. -v prints the
-// cache counters (memory/disk hits, recordings, evictions, and the
-// resident columnar footprint) to stderr so warm and cold runs are
-// observable.
+// any pool width and sharding (pinned by tests). Traces are stored columnar
+// (struct-of-arrays int32), with replay running off the step index, cached
+// routes and dense scratch — see EXPERIMENTS.md "Performance".
+//
+// Cold schedules are synthesized directly from schedule math (a serial
+// pattern walk, no goroutine fabric) and are byte-identical to fabric
+// recordings; the fabric remains the fallback and the verification oracle.
+// -synth=false forces the recording path, and -verify-synth records every
+// synthesized schedule too, failing on any encoded-byte difference (CI's
+// equivalence gate). With -trace-cache the resolved traces also persist to
+// a content-addressed on-disk store shared across runs — a warm store makes
+// repeated -full runs and CI sweeps skip even synthesis. -v prints the
+// cache counters (memory/disk hits, synthesized/verified/fallback counts,
+// recordings, evictions, and the resident columnar footprint) to stderr so
+// warm and cold runs are observable.
 //
 // Usage:
 //
@@ -31,6 +36,7 @@
 //	binebench -experiment all -systems lumi,fugaku -progress
 //	binebench -experiment all -workers 1
 //	binebench -experiment all -trace-cache ~/.cache/binetrees -v
+//	binebench -experiment all -verify-synth       # synthesis vs fabric oracle
 //
 // Experiments: fig1, eq2, fig5, table3, fig9a, fig9b, table4, fig10a,
 // fig10b, table5, fig11a, fig11b, fig14, hier, ppn, appD, all.
@@ -54,12 +60,16 @@ func main() {
 	systems := flag.String("systems", "", "comma-separated system keys restricting -experiment all ("+strings.Join(harness.SystemKeys(), ", ")+"); empty = all")
 	progress := flag.Bool("progress", false, "report live per-system cell counts on stderr")
 	traceCache := flag.String("trace-cache", "", "directory of the persistent trace store (empty = in-process cache only)")
+	synthOn := flag.Bool("synth", true, "synthesize cold traces directly from schedule math instead of recording on the goroutine fabric")
+	verifySynth := flag.Bool("verify-synth", false, "record every synthesized trace on the fabric too and fail on any encoded-byte difference")
 	verbose := flag.Bool("v", false, "print trace-cache statistics to stderr after the run")
 	flag.Parse()
 	if *systems != "" && *experiment != "all" {
 		fmt.Fprintln(os.Stderr, "binebench: -systems only applies to -experiment all")
 		os.Exit(2)
 	}
+	harness.SetSynthesis(*synthOn)
+	harness.SetVerifySynth(*verifySynth)
 	if err := harness.SetTraceStore(*traceCache); err != nil {
 		fmt.Fprintln(os.Stderr, "binebench:", err)
 		os.Exit(1)

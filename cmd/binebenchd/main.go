@@ -14,9 +14,14 @@
 // request: both compile the experiment through the same plan path and render
 // with the same serial pass (diffed in tests and CI). Identical concurrent
 // requests are deduplicated by singleflight on the compiled plan key, so a
-// thundering herd of the same artifact records each schedule once; all
+// thundering herd of the same artifact resolves each schedule once; all
 // requests share one resident process-wide worker pool and trace cache.
-// Replicas may share one -trace-cache directory: stored traces are written
+// Cold schedules are synthesized directly from schedule math (byte-identical
+// to fabric recordings; -synth=false forces the recording path, and
+// -verify-synth cross-checks every synthesis against a recording), and
+// /statsz reports the resolver-chain counters — synthesized, verified,
+// fallbacks, recordings — alongside the cache and request stats. Replicas
+// may share one -trace-cache directory: stored traces are written
 // world-readable and corrupt files self-evict on either side.
 //
 // Usage:
@@ -44,9 +49,16 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	traceCache := flag.String("trace-cache", "", "directory of the shared persistent trace store, prewarmed at startup (empty = in-process cache only)")
 	workers := flag.Int("workers", 0, "resident worker pool width shared by all requests (0 = one per CPU)")
+	synthOn := flag.Bool("synth", true, "synthesize cold traces directly from schedule math instead of recording on the goroutine fabric")
+	verifySynth := flag.Bool("verify-synth", false, "record every synthesized trace on the fabric too and fail on any encoded-byte difference")
 	flag.Parse()
 
-	srv, err := service.New(service.Config{TraceDir: *traceCache, Workers: *workers})
+	srv, err := service.New(service.Config{
+		TraceDir:     *traceCache,
+		Workers:      *workers,
+		DisableSynth: !*synthOn,
+		VerifySynth:  *verifySynth,
+	})
 	if err != nil {
 		log.Fatalf("binebenchd: %v", err)
 	}

@@ -106,6 +106,11 @@ type Algorithm struct {
 	// butterflies) are built once per (p, root) and captured by the
 	// closure, mirroring how MPI implementations cache communicator state.
 	Make func(p, root int) (RunFunc, error)
+	// Synth, when non-nil, overrides Pattern's generic zero-buffer walk for
+	// schedules whose runtime control flow reads received data (Bruck's
+	// negotiated item counts): it must compute the exact send pattern a
+	// real execution produces from schedule math alone.
+	Synth func(p, root, n int) (Synthesizer, error)
 }
 
 func treeAlgo(coll Collective, name string, kind core.Kind, bine bool) Algorithm {
@@ -458,6 +463,7 @@ func Registry() []Algorithm {
 					return BruckAlltoall(c, in, out)
 				}, nil
 			},
+			Synth: bruckAlltoallPattern,
 		},
 		Algorithm{
 			Name: "pairwise", Coll: CAlltoall,

@@ -312,59 +312,24 @@ func (r *Recorder) Comm(rank int) Comm {
 }
 
 // Trace returns the captured trace in deterministic (step, from, to, sub)
-// order. Each shard is snapshotted under its lock, sorted by (step, to, sub)
-// — almost always already true of a rank's own send order — and the shards
-// are then counting-merged by step in rank order, which yields the fully
-// sorted columns in O(records + steps) without comparing records across
-// ranks.
+// order: each shard is snapshotted under its lock and the snapshots are
+// handed to the shared shard merge (mergeShards) — the same sort and
+// counting merge the TraceBuilder's synthesized columns go through.
 func (r *Recorder) Trace() *Trace {
 	p := r.inner.Size()
-	type snap struct{ step, to, sub, elems []int32 }
-	snaps := make([]snap, p)
-	n, maxStep := 0, -1
+	snaps := make([]shardCols, p)
 	for s := range r.shards {
 		sh := &r.shards[s]
 		sh.mu.Lock()
-		snaps[s] = snap{
+		snaps[s] = shardCols{
 			step:  append([]int32(nil), sh.step...),
 			to:    append([]int32(nil), sh.to...),
 			sub:   append([]int32(nil), sh.sub...),
 			elems: append([]int32(nil), sh.elems...),
 		}
 		sh.mu.Unlock()
-		n += len(snaps[s].step)
-		sortShard(snaps[s].step, snaps[s].to, snaps[s].sub, snaps[s].elems)
-		if k := len(snaps[s].step); k > 0 && int(snaps[s].step[k-1]) > maxStep {
-			maxStep = int(snaps[s].step[k-1])
-		}
 	}
-	// Counting merge: cursor[s] is the next free output slot for step s.
-	// Walking shards in ascending rank order — each internally sorted by
-	// (step, to, sub) — fills every step's region in (from, to, sub) order.
-	cursor := make([]int32, maxStep+2)
-	for s := range snaps {
-		for _, st := range snaps[s].step {
-			cursor[st+1]++
-		}
-	}
-	for s := 1; s < len(cursor); s++ {
-		cursor[s] += cursor[s-1]
-	}
-	step, from, to, sub, elems := makeColumns(n)
-	for s := range snaps {
-		sn := &snaps[s]
-		for i, st := range sn.step {
-			pos := cursor[st]
-			cursor[st]++
-			step[pos] = st
-			from[pos] = int32(s)
-			to[pos] = sn.to[i]
-			sub[pos] = sn.sub[i]
-			elems[pos] = sn.elems[i]
-		}
-		*sn = snap{} // free the snapshot as soon as it's merged
-	}
-	return newTraceColumns(p, step, from, to, sub, elems)
+	return mergeShards(p, snaps)
 }
 
 // sortShard orders one shard's columns by (step, to, sub, elems) unless they

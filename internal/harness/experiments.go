@@ -46,15 +46,8 @@ func planFig1() (*plan, error) {
 	for i := range kinds {
 		i := i
 		tasks[i] = task{system: systemMisc, run: func() error {
-			tr, err := cachedNamedTrace("tree-bcast", kinds[i].String(), fmt.Sprintf("p=%d/n=%d", p, n), func() (*fabric.Trace, error) {
-				rec := fabric.NewRecorder(fabric.NewMem(p))
-				defer rec.Close()
-				if err := fabric.Run(rec, func(c fabric.Comm) error {
-					return coll.Bcast(c, trees[i], make([]int32, n))
-				}); err != nil {
-					return nil, err
-				}
-				return rec.Trace(), nil
+			tr, err := cachedNamedTrace("tree-bcast", kinds[i].String(), fmt.Sprintf("p=%d/n=%d", p, n), p, func(c fabric.Comm) error {
+				return coll.Bcast(c, trees[i], make([]int32, n))
 			})
 			if err != nil {
 				return err
@@ -135,19 +128,12 @@ func planFig5(opts Options) (*plan, error) {
 	}
 	kinds := [2]core.ButterflyKind{core.BflyBineDD, core.BflyBinomialDD}
 	allreduceTrace := func(kind core.ButterflyKind, p int) (*fabric.Trace, error) {
-		return cachedNamedTrace("bfly-allreduce", kind.String(), fmt.Sprintf("p=%d/n=%d", p, p), func() (*fabric.Trace, error) {
-			b, err := core.NewButterfly(kind, p)
-			if err != nil {
-				return nil, err
-			}
-			rec := fabric.NewRecorder(fabric.NewMem(p))
-			defer rec.Close()
-			if err := fabric.Run(rec, func(c fabric.Comm) error {
-				return coll.AllreduceRsAg(c, b, make([]int32, p), coll.OpSum)
-			}); err != nil {
-				return nil, err
-			}
-			return rec.Trace(), nil
+		b, err := core.NewButterfly(kind, p)
+		if err != nil {
+			return nil, err
+		}
+		return cachedNamedTrace("bfly-allreduce", kind.String(), fmt.Sprintf("p=%d/n=%d", p, p), p, func(c fabric.Comm) error {
+			return coll.AllreduceRsAg(c, b, make([]int32, p), coll.OpSum)
 		})
 	}
 	// The workload replay is deterministic, so the job lists — and from
@@ -754,15 +740,8 @@ func planHier(opts Options) (*plan, error) {
 			p := counts[ci]
 			a := setups[ci].algos[ai]
 			n := p * gpusPerNode
-			tr, err := cachedNamedTrace("hier-allreduce", a.name, fmt.Sprintf("p=%d/n=%d", p, n), func() (*fabric.Trace, error) {
-				rec := fabric.NewRecorder(fabric.NewMem(p))
-				defer rec.Close()
-				if err := fabric.Run(rec, func(c fabric.Comm) error {
-					return a.run(c, make([]int32, n))
-				}); err != nil {
-					return nil, err
-				}
-				return rec.Trace(), nil
+			tr, err := cachedNamedTrace("hier-allreduce", a.name, fmt.Sprintf("p=%d/n=%d", p, n), p, func(c fabric.Comm) error {
+				return a.run(c, make([]int32, n))
 			})
 			if err != nil {
 				return err
@@ -845,29 +824,15 @@ func planAppD() (*plan, error) {
 	var flatTr, torusTr *fabric.Trace
 	tasks := []task{
 		{system: systemFugaku, run: func() error {
-			tr, err := cachedNamedTrace("tree-bcast", core.BineDH.String(), fmt.Sprintf("p=%d/n=1", tor.P()), func() (*fabric.Trace, error) {
-				rec := fabric.NewRecorder(fabric.NewMem(tor.P()))
-				defer rec.Close()
-				if err := fabric.Run(rec, func(c fabric.Comm) error {
-					return coll.Bcast(c, flatTree, make([]int32, 1))
-				}); err != nil {
-					return nil, err
-				}
-				return rec.Trace(), nil
+			tr, err := cachedNamedTrace("tree-bcast", core.BineDH.String(), fmt.Sprintf("p=%d/n=1", tor.P()), tor.P(), func(c fabric.Comm) error {
+				return coll.Bcast(c, flatTree, make([]int32, 1))
 			})
 			flatTr = tr
 			return err
 		}},
 		{system: systemFugaku, run: func() error {
-			tr, err := cachedNamedTrace("torus-bcast", core.BineDH.String(), fmt.Sprintf("%v/n=1", tor.Dims), func() (*fabric.Trace, error) {
-				rec := fabric.NewRecorder(fabric.NewMem(tor.P()))
-				defer rec.Close()
-				if err := fabric.Run(rec, func(c fabric.Comm) error {
-					return coll.TorusBcast(c, tor, core.BineDH, 0, make([]int32, 1))
-				}); err != nil {
-					return nil, err
-				}
-				return rec.Trace(), nil
+			tr, err := cachedNamedTrace("torus-bcast", core.BineDH.String(), fmt.Sprintf("%v/n=1", tor.Dims), tor.P(), func(c fabric.Comm) error {
+				return coll.TorusBcast(c, tor, core.BineDH, 0, make([]int32, 1))
 			})
 			torusTr = tr
 			return err

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"binetrees/internal/coll"
 	"binetrees/internal/core"
 	"binetrees/internal/fabric"
+	"binetrees/internal/synth"
 	"binetrees/internal/tracestore"
 )
 
@@ -45,11 +47,33 @@ var traceCache = struct {
 // store is the optional disk tier; nil disables it.
 var store atomic.Pointer[tracestore.Store]
 
+// synthDisabled and verifySynth gate the synthesis stage of the resolver
+// chain. The zero values give the defaults: synthesis on, verification off.
+var (
+	synthDisabled atomic.Bool
+	verifySynth   atomic.Bool
+)
+
+// SetSynthesis toggles direct schedule synthesis (on by default). Disabled,
+// every cold schedule executes on the recording goroutine fabric — the
+// pre-synthesis behavior, kept as the oracle path for equivalence checks.
+func SetSynthesis(enabled bool) { synthDisabled.Store(!enabled) }
+
+// SetVerifySynth toggles verification mode: each synthesized trace is also
+// recorded on the goroutine fabric and the two encodings compared byte for
+// byte, failing the request on any difference. Recording still runs per
+// schedule, so this costs what a cold pre-synthesis run did; it exists for
+// CI's equivalence gate, not for production sweeps.
+func SetVerifySynth(enabled bool) { verifySynth.Store(enabled) }
+
 var cacheCounters struct {
-	memHits      atomic.Uint64
-	records      atomic.Uint64
-	cachedTraces atomic.Uint64
-	cachedBytes  atomic.Uint64
+	memHits        atomic.Uint64
+	synthHits      atomic.Uint64
+	synthFallbacks atomic.Uint64
+	synthVerified  atomic.Uint64
+	records        atomic.Uint64
+	cachedTraces   atomic.Uint64
+	cachedBytes    atomic.Uint64
 }
 
 // SetTraceStore layers a disk-backed trace store (rooted at dir, created if
@@ -91,8 +115,15 @@ type CacheStats struct {
 	// DiskHits and DiskMisses count store lookups by in-process misses (a
 	// corrupt file is a miss).
 	DiskHits, DiskMisses uint64
+	// SynthHits counts schedules resolved by direct synthesis from schedule
+	// math — no goroutine fabric involved. SynthFallbacks counts synthesis
+	// attempts that errored and fell through to recording. SynthVerified
+	// counts synthesized traces checked byte-identical against a fabric
+	// recording (verify mode only).
+	SynthHits, SynthFallbacks, SynthVerified uint64
 	// Records counts schedules actually executed under a recording fabric
-	// — the expensive path; a fully warm run keeps it at zero.
+	// — the expensive path; with synthesis on, a cold run keeps it at zero
+	// (verify mode deliberately drives it back up: one per verification).
 	Records uint64
 	// DiskSaves counts traces written through to the store.
 	DiskSaves uint64
@@ -106,8 +137,9 @@ type CacheStats struct {
 }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("trace cache: %d memory hits, %d disk hits, %d disk misses, %d recordings, %d disk saves, %d corrupt evictions; %d resident traces, %.1f MiB columnar",
-		s.MemoryHits, s.DiskHits, s.DiskMisses, s.Records, s.DiskSaves, s.CorruptEvictions,
+	return fmt.Sprintf("trace cache: %d memory hits, %d disk hits, %d disk misses, %d synthesized (%d verified, %d fallbacks), %d recordings, %d disk saves, %d corrupt evictions; %d resident traces, %.1f MiB columnar",
+		s.MemoryHits, s.DiskHits, s.DiskMisses, s.SynthHits, s.SynthVerified, s.SynthFallbacks,
+		s.Records, s.DiskSaves, s.CorruptEvictions,
 		s.CachedTraces, float64(s.CachedBytes)/(1<<20))
 }
 
@@ -122,6 +154,9 @@ func TraceCacheStats() CacheStats {
 		MemoryHits:       cacheCounters.memHits.Load(),
 		DiskHits:         ds.Hits,
 		DiskMisses:       ds.Misses,
+		SynthHits:        cacheCounters.synthHits.Load(),
+		SynthFallbacks:   cacheCounters.synthFallbacks.Load(),
+		SynthVerified:    cacheCounters.synthVerified.Load(),
 		Records:          cacheCounters.records.Load(),
 		DiskSaves:        ds.Saves,
 		CorruptEvictions: ds.CorruptEvictions,
@@ -139,18 +174,24 @@ func ResetTraceCache() {
 	traceCache.m = map[tracestore.Key]*traceEntry{}
 	traceCache.mu.Unlock()
 	cacheCounters.memHits.Store(0)
+	cacheCounters.synthHits.Store(0)
+	cacheCounters.synthFallbacks.Store(0)
+	cacheCounters.synthVerified.Store(0)
 	cacheCounters.records.Store(0)
 	cacheCounters.cachedTraces.Store(0)
 	cacheCounters.cachedBytes.Store(0)
 }
 
-// cachedTraceKey is the cache core: it returns the trace for the schedule
-// identity key, consulting the in-process tier, then the disk store, and
-// only then executing record — exactly once per key per process, however
-// many concurrent workers ask. Freshly recorded traces are written through
-// to the store; failed recordings are never written anywhere and their
-// in-process slot is evicted so a later request re-records.
-func cachedTraceKey(key tracestore.Key, record func() (*fabric.Trace, error)) (*fabric.Trace, error) {
+// cachedTraceKey is the cache core: it resolves the trace for the schedule
+// identity key through the resolver chain — the in-process tier, then the
+// disk store, then direct synthesis from schedule math (synthesize, when
+// non-nil and enabled), and only then a recording run on the goroutine
+// fabric — exactly once per key per process, however many concurrent workers
+// ask. A synthesis error is a fallback, not a failure: the schedule records
+// instead. Resolved traces are written through to the store stamped with
+// their origin; failed resolutions are never written anywhere and their
+// in-process slot is evicted so a later request retries.
+func cachedTraceKey(key tracestore.Key, synthesize, record func() (*fabric.Trace, error)) (*fabric.Trace, error) {
 	traceCache.mu.Lock()
 	e, ok := traceCache.m[key]
 	if !ok {
@@ -163,13 +204,44 @@ func cachedTraceKey(key tracestore.Key, record func() (*fabric.Trace, error)) (*
 		if tr, hit := s.Load(key); hit {
 			e.tr = tr
 		} else {
-			cacheCounters.records.Add(1)
-			e.tr, e.err = record()
+			origin := tracestore.OriginRecorded
+			if synthesize != nil && !synthDisabled.Load() {
+				tr, err := synthesize()
+				switch {
+				case err != nil:
+					// A schedule the synthesizer cannot walk falls through
+					// to the fabric — counted, so a sweep that should be
+					// recording-free is diagnosable from its stats line.
+					cacheCounters.synthFallbacks.Add(1)
+				case verifySynth.Load():
+					// Verification mode: record the same schedule on the
+					// goroutine fabric (the oracle) and require the two
+					// encodings to match byte for byte.
+					cacheCounters.records.Add(1)
+					rt, rerr := record()
+					if rerr != nil {
+						e.err = rerr
+					} else if e.err = diffTraces(key, tr, rt); e.err == nil {
+						cacheCounters.synthVerified.Add(1)
+						cacheCounters.synthHits.Add(1)
+						e.tr = tr
+						origin = tracestore.OriginSynthesized
+					}
+				default:
+					cacheCounters.synthHits.Add(1)
+					e.tr = tr
+					origin = tracestore.OriginSynthesized
+				}
+			}
+			if e.tr == nil && e.err == nil {
+				cacheCounters.records.Add(1)
+				e.tr, e.err = record()
+			}
 			if e.err == nil {
 				// Write-behind is best-effort: a read-only or full cache
-				// directory degrades to re-recording next process, never
+				// directory degrades to re-resolving next process, never
 				// to a failed sweep.
-				_ = s.Save(key, e.tr)
+				_ = s.Save(key, e.tr, origin)
 			}
 		}
 		if e.err == nil && e.tr != nil {
@@ -198,6 +270,44 @@ func cachedTraceKey(key tracestore.Key, record func() (*fabric.Trace, error)) (*
 	return e.tr, e.err
 }
 
+// diffTraces enforces verify-synth's contract at the byte-identity level:
+// the synthesized trace must encode to exactly the recorded oracle's bytes.
+// On divergence it names the first differing record so a schedule drift is
+// debuggable from the failure message alone.
+func diffTraces(key tracestore.Key, st, rt *fabric.Trace) error {
+	sb, err := encodeTraceBytes(st)
+	if err != nil {
+		return err
+	}
+	rb, err := encodeTraceBytes(rt)
+	if err != nil {
+		return err
+	}
+	if bytes.Equal(sb, rb) {
+		return nil
+	}
+	n := st.NumRecords()
+	if rt.NumRecords() < n {
+		n = rt.NumRecords()
+	}
+	for i := 0; i < n; i++ {
+		if st.At(i) != rt.At(i) {
+			return fmt.Errorf("harness: verify-synth %s %s/%s shape=%s root=%d: record %d diverges: synthesized %+v, recorded %+v",
+				key.Kind, key.Collective, key.Algo, key.Shape, key.Root, i, st.At(i), rt.At(i))
+		}
+	}
+	return fmt.Errorf("harness: verify-synth %s %s/%s shape=%s root=%d: encodings differ (%d synthesized records vs %d recorded)",
+		key.Kind, key.Collective, key.Algo, key.Shape, key.Root, st.NumRecords(), rt.NumRecords())
+}
+
+func encodeTraceBytes(tr *fabric.Trace) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := fabric.EncodeTrace(&buf, tr); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // cachedTrace returns a registry algorithm's unit-granularity trace.
 func cachedTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
 	key := tracestore.Key{
@@ -208,7 +318,9 @@ func cachedTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
 		Root:         root,
 		SchedVersion: schedVersion,
 	}
-	return cachedTraceKey(key, func() (*fabric.Trace, error) { return recordTrace(algo, p, root) })
+	return cachedTraceKey(key,
+		func() (*fabric.Trace, error) { return synthTrace(algo, p, root) },
+		func() (*fabric.Trace, error) { return recordTrace(algo, p, root) })
 }
 
 // cachedTorusTrace is cachedTrace for torus-geometry algorithms, which the
@@ -224,20 +336,26 @@ func cachedTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, in
 		Root:         root,
 		SchedVersion: schedVersion,
 	}
-	tr, err := cachedTraceKey(key, func() (*fabric.Trace, error) { return recordTorusTrace(ta, tor, root) })
+	tr, err := cachedTraceKey(key,
+		func() (*fabric.Trace, error) { return synthTorusTrace(ta, tor, root) },
+		func() (*fabric.Trace, error) { return recordTorusTrace(ta, tor, root) })
 	return tr, n, err
 }
 
-// cachedNamedTrace caches ad-hoc recordings that no registry covers (the
+// cachedNamedTrace caches ad-hoc schedules that no registry covers (the
 // Fig. 1 tree broadcasts, Fig. 5 butterfly allreduces, hierarchical and
-// Appendix D schedules): kind/name/shape must uniquely identify the
-// schedule and the recorded element count.
-func cachedNamedTrace(kind, name, shape string, record func() (*fabric.Trace, error)) (*fabric.Trace, error) {
+// Appendix D schedules): kind/name/shape must uniquely identify the schedule
+// body fn over p ranks, including its recorded element count. Every such
+// body is data-independent, so the resolver synthesizes it with a serial
+// pattern walk and touches the fabric only as fallback or under verify mode.
+func cachedNamedTrace(kind, name, shape string, p int, fn func(c fabric.Comm) error) (*fabric.Trace, error) {
 	key := tracestore.Key{
 		Kind:         kind,
 		Algo:         name,
 		Shape:        shape,
 		SchedVersion: schedVersion,
 	}
-	return cachedTraceKey(key, record)
+	return cachedTraceKey(key,
+		func() (*fabric.Trace, error) { return synth.Run(p, fn) },
+		func() (*fabric.Trace, error) { return recordBody(kind, name, p, fn) })
 }

@@ -3,17 +3,37 @@ package harness
 import (
 	"errors"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
 	"binetrees/internal/fabric"
+	"binetrees/internal/tracestore"
 )
+
+// countTraceFiles counts the ".trace" files in dir, ignoring provenance
+// sidecars and temp files.
+func countTraceFiles(t *testing.T, dir string) int {
+	t.Helper()
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, f := range files {
+		if strings.HasSuffix(f.Name(), ".trace") {
+			n++
+		}
+	}
+	return n
+}
 
 // TestFailedRecordingNeverCachedOrStored injects a timeout mid-recording
 // and pins the eviction guarantee: a timed-out (hence partial) trace is
 // written neither to the tracestore nor to the in-process cache — the
 // failed key re-records on the next request and only the successful
-// recording is persisted.
+// recording is persisted. Synthesis is bypassed (nil synthesize) because
+// this test is about the fabric leg of the resolver chain.
 func TestFailedRecordingNeverCachedOrStored(t *testing.T) {
 	resetCaches(t)
 	dir := t.TempDir()
@@ -43,13 +63,14 @@ func TestFailedRecordingNeverCachedOrStored(t *testing.T) {
 		}
 		return rec.Trace(), nil
 	}
-	if _, err := cachedNamedTrace("test-evict", "x", "p=2", record); !errors.Is(err, fabric.ErrTimeout) {
+	key := tracestore.Key{Kind: "test-evict", Algo: "x", Shape: "p=2", SchedVersion: schedVersion}
+	if _, err := cachedTraceKey(key, nil, record); !errors.Is(err, fabric.ErrTimeout) {
 		t.Fatalf("first attempt: got %v, want timeout", err)
 	}
-	if files, _ := os.ReadDir(dir); len(files) != 0 {
-		t.Fatalf("failed recording reached the store: %d files", len(files))
+	if n := countTraceFiles(t, dir); n != 0 {
+		t.Fatalf("failed recording reached the store: %d files", n)
 	}
-	tr, err := cachedNamedTrace("test-evict", "x", "p=2", record)
+	tr, err := cachedTraceKey(key, nil, record)
 	if err != nil {
 		t.Fatalf("retry after eviction: %v", err)
 	}
@@ -59,12 +80,20 @@ func TestFailedRecordingNeverCachedOrStored(t *testing.T) {
 	if tr.NumRecords() != 1 {
 		t.Fatalf("retry recorded %d messages, want 1", tr.NumRecords())
 	}
-	if files, _ := os.ReadDir(dir); len(files) != 1 {
-		t.Fatalf("successful retry not persisted: %d files", len(files))
+	if n := countTraceFiles(t, dir); n != 1 {
+		t.Fatalf("successful retry not persisted: %d files", n)
 	}
 	// The successful recording is cached normally: a third request must
-	// not record again.
-	if _, err := cachedNamedTrace("test-evict", "x", "p=2", record); err != nil || attempts != 2 {
+	// not record again — and its stored trace is stamped as recorded.
+	if _, err := cachedTraceKey(key, nil, record); err != nil || attempts != 2 {
 		t.Fatalf("cached success re-recorded: attempts=%d err=%v", attempts, err)
 	}
+	if o := storeOrigin(key); o != tracestore.OriginRecorded {
+		t.Fatalf("fabric-recorded trace stamped %q", o)
+	}
+}
+
+// storeOrigin reads the configured store's provenance stamp for key.
+func storeOrigin(key tracestore.Key) tracestore.Origin {
+	return store.Load().Origin(key)
 }

@@ -34,15 +34,18 @@ func resetCaches(t *testing.T) {
 
 // TestStoreEquivalenceMatrix pins the tentpole guarantee of the persistent
 // store: the complete quick artifact suite renders byte-identically across
-// {no store, cold store, warm store} × {Workers=1, Workers=NumCPU}, and a
-// warm-store run performs zero trace recordings — every schedule loads from
-// disk (asserted via the cache counters).
+// {no store, cold store, warm store} × {Workers=1, Workers=NumCPU}. A cold
+// run synthesizes every schedule — zero goroutine-fabric recordings — and a
+// warm-store run loads everything from disk without even synthesizing
+// (asserted via the cache counters).
 func TestStoreEquivalenceMatrix(t *testing.T) {
 	resetCaches(t)
 	dir := t.TempDir()
 	reference := renderSuite(t, 1)
-	if s := TraceCacheStats(); s.Records == 0 {
-		t.Fatal("baseline run recorded nothing")
+	if s := TraceCacheStats(); s.SynthHits == 0 {
+		t.Fatalf("baseline run synthesized nothing: %+v", s)
+	} else if s.Records != 0 {
+		t.Fatalf("baseline run fell back to the fabric %d times: %+v", s.Records, s)
 	}
 
 	type variant struct {
@@ -71,12 +74,14 @@ func TestStoreEquivalenceMatrix(t *testing.T) {
 		s := TraceCacheStats()
 		warm := i >= 2 // the cold-store pass populated dir
 		switch {
+		case s.Records != 0:
+			t.Fatalf("%s: %d goroutine-fabric recordings (want all-synthesized): %+v", v.name, s.Records, s)
 		case !v.store && s.DiskHits+s.DiskSaves != 0:
 			t.Fatalf("%s: disk activity without a store: %+v", v.name, s)
-		case v.store && !warm && (s.Records == 0 || s.DiskSaves == 0):
-			t.Fatalf("%s: cold store did not record and save: %+v", v.name, s)
-		case warm && s.Records != 0:
-			t.Fatalf("%s: warm store still recorded %d schedules: %+v", v.name, s.Records, s)
+		case v.store && !warm && (s.SynthHits == 0 || s.DiskSaves == 0):
+			t.Fatalf("%s: cold store did not synthesize and save: %+v", v.name, s)
+		case warm && s.SynthHits != 0:
+			t.Fatalf("%s: warm store still synthesized %d schedules: %+v", v.name, s.SynthHits, s)
 		}
 		if warm && s.DiskHits == 0 {
 			t.Fatalf("%s: warm store served no hits: %+v", v.name, s)
@@ -86,7 +91,8 @@ func TestStoreEquivalenceMatrix(t *testing.T) {
 
 // TestStoreCorruptionRecovered pins the degradation path: damaging every
 // stored file turns the warm store cold — corrupt files are evicted,
-// schedules re-record and re-save — without changing a single artifact byte.
+// schedules re-synthesize and re-save — without changing a single artifact
+// byte.
 func TestStoreCorruptionRecovered(t *testing.T) {
 	resetCaches(t)
 	dir := t.TempDir()
@@ -120,15 +126,15 @@ func TestStoreCorruptionRecovered(t *testing.T) {
 	if s.CorruptEvictions < uint64(len(files)) {
 		t.Fatalf("only %d of %d corrupt files evicted: %+v", s.CorruptEvictions, len(files), s)
 	}
-	if s.Records == 0 {
-		t.Fatalf("corrupt store served traces without re-recording: %+v", s)
+	if s.SynthHits == 0 {
+		t.Fatalf("corrupt store served traces without re-synthesizing: %+v", s)
 	}
 	// The re-saved store is warm again.
 	ResetTraceCache()
 	if out := renderSuite(t, runtime.NumCPU()); out != reference {
 		t.Fatal("rendering diverges after recovery")
 	}
-	if s := TraceCacheStats(); s.Records != 0 {
-		t.Fatalf("recovered store still recording: %+v", s)
+	if s := TraceCacheStats(); s.SynthHits+s.Records != 0 {
+		t.Fatalf("recovered store still resolving cold: %+v", s)
 	}
 }

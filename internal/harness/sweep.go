@@ -8,6 +8,7 @@ import (
 	"binetrees/internal/fabric"
 	"binetrees/internal/netsim"
 	"binetrees/internal/pool"
+	"binetrees/internal/synth"
 	"binetrees/internal/topology"
 )
 
@@ -105,6 +106,23 @@ func recordTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
 		return nil, fmt.Errorf("harness: %v/%s p=%d: %w", algo.Coll, algo.Name, p, err)
 	}
 	return rec.Trace(), nil
+}
+
+// synthTrace emits the algorithm's unit-granularity trace directly from
+// schedule math (internal/synth) — the cold-path replacement for
+// recordTrace, which stays on as the verification oracle. The two are
+// byte-identical under the trace codec for every registered algorithm
+// (internal/synth's equivalence suite and CI's -verify-synth gate).
+func synthTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
+	s, err := algo.Pattern(p, root, p)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := synth.Schedule(s)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %v/%s p=%d: %w", algo.Coll, algo.Name, p, err)
+	}
+	return tr, nil
 }
 
 // planSweep compiles one collective's sweep — every applicable algorithm
@@ -315,6 +333,38 @@ func recordTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, er
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: torus %v/%s %v: %w", ta.Coll, ta.Name, tor.Dims, err)
+	}
+	return rec.Trace(), nil
+}
+
+// synthTorusTrace is synthTrace for torus-geometry algorithms: the same
+// schedule body recordTorusTrace runs on the fabric, walked serially over
+// pattern endpoints instead.
+func synthTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, error) {
+	p := tor.P()
+	n := torusRecordedElems(ta, tor)
+	tr, err := synth.Run(p, func(c fabric.Comm) error {
+		inLen, outLen := ta.Coll.InOutLens(p, n)
+		in := make([]int32, inLen)
+		var out []int32
+		if outLen > 0 {
+			out = make([]int32, outLen)
+		}
+		return ta.Run(c, tor, root, in, out, coll.OpSum)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: torus %v/%s %v: %w", ta.Coll, ta.Name, tor.Dims, err)
+	}
+	return tr, nil
+}
+
+// recordBody executes an ad-hoc schedule body on the recording goroutine
+// fabric — the oracle/fallback leg of cachedNamedTrace.
+func recordBody(kind, name string, p int, fn func(c fabric.Comm) error) (*fabric.Trace, error) {
+	rec := fabric.NewRecorder(fabric.NewMem(p))
+	defer rec.Close()
+	if err := fabric.Run(rec, fn); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s p=%d: %w", kind, name, p, err)
 	}
 	return rec.Trace(), nil
 }

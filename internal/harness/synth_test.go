@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"binetrees/internal/fabric"
+	"binetrees/internal/tracestore"
+)
+
+func synthKey(name string) tracestore.Key {
+	return tracestore.Key{Kind: "test-synth", Algo: name, Shape: "4", SchedVersion: schedVersion}
+}
+
+func synthTestTrace(elems int) *fabric.Trace {
+	return fabric.NewTrace(4, []fabric.Record{{From: 0, To: 1, Step: 0, Sub: 0, Elems: elems}})
+}
+
+// TestResolverChainCounters walks one key through every stage of the
+// resolver chain — synthesis, disk, recording fallback, synthesis disabled —
+// and pins the counters and provenance stamps each stage must (and must not)
+// produce. The counting is honest by the PR 5 rule: a stage that never
+// served the trace never counts.
+func TestResolverChainCounters(t *testing.T) {
+	resetCaches(t)
+	defer SetSynthesis(true)
+	if err := SetTraceStore(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	tr := synthTestTrace(1)
+	synthOK := func() (*fabric.Trace, error) { return tr, nil }
+	mustNotRun := func(what string) func() (*fabric.Trace, error) {
+		return func() (*fabric.Trace, error) {
+			t.Fatalf("%s ran: resolver chain out of order", what)
+			return nil, nil
+		}
+	}
+
+	// Cold key with a working synthesizer: resolved without touching the
+	// fabric, written through stamped synthesized.
+	if _, err := cachedTraceKey(synthKey("a"), synthOK, mustNotRun("record")); err != nil {
+		t.Fatal(err)
+	}
+	s := TraceCacheStats()
+	if s.SynthHits != 1 || s.Records != 0 || s.DiskSaves != 1 {
+		t.Fatalf("synthesis resolution miscounted: %+v", s)
+	}
+	if o := storeOrigin(synthKey("a")); o != tracestore.OriginSynthesized {
+		t.Fatalf("synthesized trace stamped %q", o)
+	}
+
+	// After a memory reset the disk tier answers first: neither synthesis
+	// nor recording runs.
+	ResetTraceCache()
+	diskHits := TraceCacheStats().DiskHits
+	if _, err := cachedTraceKey(synthKey("a"), mustNotRun("synthesize"), mustNotRun("record")); err != nil {
+		t.Fatal(err)
+	}
+	s = TraceCacheStats()
+	if s.DiskHits != diskHits+1 || s.SynthHits != 0 || s.Records != 0 {
+		t.Fatalf("disk resolution miscounted: %+v", s)
+	}
+
+	// A failing synthesizer is a counted fallback, not an error: the fabric
+	// records, and the store stamp says so.
+	if _, err := cachedTraceKey(synthKey("b"),
+		func() (*fabric.Trace, error) { return nil, errors.New("cannot walk") },
+		synthOK); err != nil {
+		t.Fatal(err)
+	}
+	s = TraceCacheStats()
+	if s.SynthFallbacks != 1 || s.Records != 1 || s.SynthHits != 0 {
+		t.Fatalf("fallback miscounted: %+v", s)
+	}
+	if o := storeOrigin(synthKey("b")); o != tracestore.OriginRecorded {
+		t.Fatalf("fallback recording stamped %q", o)
+	}
+
+	// Synthesis disabled: the synthesizer must not even be consulted.
+	SetSynthesis(false)
+	if _, err := cachedTraceKey(synthKey("c"), mustNotRun("synthesize"), synthOK); err != nil {
+		t.Fatal(err)
+	}
+	s = TraceCacheStats()
+	if s.Records != 2 || s.SynthHits != 0 || s.SynthFallbacks != 1 {
+		t.Fatalf("disabled synthesis miscounted: %+v", s)
+	}
+	if o := storeOrigin(synthKey("c")); o != tracestore.OriginRecorded {
+		t.Fatalf("synth-disabled recording stamped %q", o)
+	}
+}
+
+// TestVerifySynthMode pins verification mode: a synthesized trace that
+// matches its fabric recording byte for byte resolves (counted verified), a
+// diverging one fails the request naming the first differing record, is
+// never cached or stored, and leaves the key retryable.
+func TestVerifySynthMode(t *testing.T) {
+	resetCaches(t)
+	defer SetVerifySynth(false)
+	if err := SetTraceStore(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	SetVerifySynth(true)
+
+	same := func() (*fabric.Trace, error) { return synthTestTrace(1), nil }
+	other := func() (*fabric.Trace, error) { return synthTestTrace(2), nil }
+
+	if _, err := cachedTraceKey(synthKey("match"), same, same); err != nil {
+		t.Fatal(err)
+	}
+	s := TraceCacheStats()
+	if s.SynthVerified != 1 || s.SynthHits != 1 || s.Records != 1 {
+		t.Fatalf("verified resolution miscounted: %+v", s)
+	}
+	if o := storeOrigin(synthKey("match")); o != tracestore.OriginSynthesized {
+		t.Fatalf("verified trace stamped %q", o)
+	}
+
+	_, err := cachedTraceKey(synthKey("diverge"), same, other)
+	if err == nil || !strings.Contains(err.Error(), "record 0 diverges") {
+		t.Fatalf("divergence not reported: %v", err)
+	}
+	s = TraceCacheStats()
+	if s.SynthVerified != 1 || s.SynthHits != 1 {
+		t.Fatalf("diverging synthesis counted as served: %+v", s)
+	}
+	if _, ok := store.Load().Load(synthKey("diverge")); ok {
+		t.Fatal("diverging trace reached the store")
+	}
+	// The failed key was evicted, not poisoned: a fixed synthesizer passes.
+	if _, err := cachedTraceKey(synthKey("diverge"), other, other); err != nil {
+		t.Fatalf("retry after divergence: %v", err)
+	}
+	if s := TraceCacheStats(); s.SynthVerified != 2 {
+		t.Fatalf("retry not verified: %+v", s)
+	}
+}

@@ -5,9 +5,11 @@
 // rendered artifact as it is produced; responses are byte-identical to the
 // binebench CLI's files for the same request (pinned by tests and CI).
 // Identical concurrent requests are deduplicated by singleflight on the
-// compiled plan key, so a thundering herd records each schedule once, and
-// the shared -trace-cache directory is prewarmed (decode-validated, corrupt
-// files evicted) before the server accepts traffic.
+// compiled plan key, so a thundering herd resolves each schedule once —
+// normally by direct synthesis from schedule math, with the goroutine
+// fabric as fallback/oracle — and the shared -trace-cache directory is
+// prewarmed (decode-validated, corrupt files evicted) before the server
+// accepts traffic.
 package service
 
 import (
@@ -33,6 +35,13 @@ type Config struct {
 	TraceDir string
 	// Workers bounds the resident Runner (<= 0: one per CPU).
 	Workers int
+	// DisableSynth turns off direct schedule synthesis: every cold schedule
+	// executes on the recording goroutine fabric (the oracle path).
+	DisableSynth bool
+	// VerifySynth records every synthesized schedule on the fabric as well
+	// and fails the render on any encoded-byte difference — CI's equivalence
+	// gate, at the cost of a full cold pre-synthesis run.
+	VerifySynth bool
 }
 
 // Server is the artifact service: a resident worker pool, the singleflight
@@ -48,9 +57,11 @@ type Server struct {
 	requests, renders, joins, failures, bytesOut atomic.Uint64
 }
 
-// New configures the process-wide trace store, prewarms it, and returns a
-// serving-ready Server owning a resident Runner.
+// New configures the process-wide trace store and synthesis mode, prewarms
+// the store, and returns a serving-ready Server owning a resident Runner.
 func New(cfg Config) (*Server, error) {
+	harness.SetSynthesis(!cfg.DisableSynth)
+	harness.SetVerifySynth(cfg.VerifySynth)
 	if err := harness.SetTraceStore(cfg.TraceDir); err != nil {
 		return nil, err
 	}

@@ -86,22 +86,23 @@ func TestArtifactByteIdentity(t *testing.T) {
 }
 
 // TestSingleflightDedup is the thundering-herd pin at the HTTP layer: a herd
-// of identical concurrent requests performs exactly one render and exactly
-// one recording per schedule; every response carries the identical bytes.
-// The render gate holds the flight open until the whole herd has attached,
-// so the assertions are deterministic (and a broken singleflight fails the
-// counters instead of deadlocking, because the gate times out).
+// of identical concurrent requests performs exactly one render and resolves
+// each schedule exactly once (by synthesis — the fabric is never touched);
+// every response carries the identical bytes. The render gate holds the
+// flight open until the whole herd has attached, so the assertions are
+// deterministic (and a broken singleflight fails the counters instead of
+// deadlocking, because the gate times out).
 func TestSingleflightDedup(t *testing.T) {
-	// Reference pass: the artifact bytes and the per-schedule recording
+	// Reference pass: the artifact bytes and the per-schedule synthesis
 	// count of a cold fig1 render.
 	harness.ResetTraceCache()
 	var want strings.Builder
 	if err := harness.RunExperiment(&want, "fig1", harness.Options{Quick: true}); err != nil {
 		t.Fatal(err)
 	}
-	recordsRef := harness.TraceCacheStats().Records
-	if recordsRef == 0 {
-		t.Fatal("reference render recorded nothing")
+	synthRef := harness.TraceCacheStats().SynthHits
+	if synthRef == 0 {
+		t.Fatal("reference render synthesized nothing")
 	}
 
 	srv, ts := newTestServer(t, "")
@@ -138,8 +139,11 @@ func TestSingleflightDedup(t *testing.T) {
 		t.Fatalf("herd of %d: %d requests, %d renders, %d joins — want %d/1/%d",
 			herd, snap.Requests, snap.Renders, snap.DedupJoins, herd, herd-1)
 	}
-	if snap.Cache.Records != recordsRef {
-		t.Fatalf("herd recorded %d schedules, want %d (one per schedule)", snap.Cache.Records, recordsRef)
+	if snap.Cache.SynthHits != synthRef {
+		t.Fatalf("herd synthesized %d schedules, want %d (one per schedule)", snap.Cache.SynthHits, synthRef)
+	}
+	if snap.Cache.Records != 0 {
+		t.Fatalf("herd touched the goroutine fabric %d times, want 0", snap.Cache.Records)
 	}
 	if snap.Failures != 0 || snap.BytesServed != uint64(herd*len(want.String())) {
 		t.Fatalf("snapshot %+v", snap)
@@ -197,7 +201,7 @@ func TestServicePrewarm(t *testing.T) {
 	}
 	tr := fabric.NewTrace(4, []fabric.Record{{From: 0, To: 1, Step: 0, Elems: 1}})
 	key := tracestore.Key{Kind: "flat", Collective: "bcast", Algo: "x", Shape: "4", SchedVersion: 1}
-	if err := st.Save(key, tr); err != nil {
+	if err := st.Save(key, tr, tracestore.OriginRecorded); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "deadbeef.trace"), []byte("BTRCgarbage"), 0o644); err != nil {
@@ -214,5 +218,58 @@ func TestServicePrewarm(t *testing.T) {
 	code, body := get(t, ts.URL+"/statsz")
 	if code != http.StatusOK || !strings.Contains(body, "\"prewarm\"") {
 		t.Fatalf("statsz after prewarm: %d\n%s", code, body)
+	}
+}
+
+// TestVerifySynthService pins the Config wiring end to end: a server built
+// with VerifySynth set renders with the fabric oracle cross-checking every
+// synthesis, and /statsz reports the verified counts. DisableSynth likewise
+// forces pure recording.
+func TestVerifySynthService(t *testing.T) {
+	harness.ResetTraceCache()
+	srv, err := New(Config{VerifySynth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		harness.SetVerifySynth(false)
+		harness.SetSynthesis(true)
+		if err := harness.SetTraceStore(""); err != nil {
+			t.Error(err)
+		}
+		harness.ResetTraceCache()
+	})
+	if code, body := get(t, ts.URL+"/artifact/fig1"); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	snap := srv.Snapshot()
+	c := snap.Cache
+	if c.SynthHits == 0 || c.SynthVerified != c.SynthHits {
+		t.Fatalf("verify mode left syntheses unverified: %+v", c)
+	}
+	if c.Records != c.SynthVerified {
+		t.Fatalf("verify mode recorded %d oracles for %d verifications", c.Records, c.SynthVerified)
+	}
+	code, body := get(t, ts.URL+"/statsz")
+	if code != http.StatusOK || !strings.Contains(body, "\"SynthVerified\"") {
+		t.Fatalf("statsz lacks synth counters: %d\n%s", code, body)
+	}
+
+	harness.ResetTraceCache()
+	srv2, err := New(Config{DisableSynth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if code, body := get(t, ts2.URL+"/artifact/fig1"); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if c := srv2.Snapshot().Cache; c.SynthHits != 0 || c.Records == 0 {
+		t.Fatalf("DisableSynth still synthesized: %+v", c)
 	}
 }

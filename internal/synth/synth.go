@@ -1,0 +1,51 @@
+// Package synth emits communication traces directly from schedule math —
+// the cold-path replacement for recording on the goroutine fabric. Every
+// schedule in internal/coll is deterministic and data-independent given
+// (collective, algorithm, rank count, root, vector length), so the
+// (step, from, to, sub, elems) columns a fabric.Trace stores are a pure
+// function of the schedule definition: synth walks each rank's schedule
+// body serially against a fabric.TraceBuilder pattern endpoint (Sends are
+// logged, Recvs complete immediately) and merges the columns with the same
+// shard sort and counting merge the Recorder uses. The result is
+// byte-identical under the codec to a recorded trace of the same schedule
+// — pinned by this package's tests across the whole registry, by the
+// harness's -verify-synth mode, and in CI.
+//
+// The goroutine fabric remains the oracle: property/fuzz tests and the
+// tcp-cluster example still execute schedules for real, and the harness
+// falls back to it whenever synthesis fails.
+package synth
+
+import (
+	"fmt"
+
+	"binetrees/internal/coll"
+	"binetrees/internal/fabric"
+)
+
+// Schedule emits the trace of one registry schedule by walking every rank
+// in ascending order.
+func Schedule(s coll.Synthesizer) (*fabric.Trace, error) {
+	p := s.Ranks()
+	b := fabric.NewTraceBuilder(p)
+	for rank := 0; rank < p; rank++ {
+		if err := s.Walk(rank, b.Comm(rank)); err != nil {
+			return nil, fmt.Errorf("synth: rank %d: %w", rank, err)
+		}
+	}
+	return b.Trace(), nil
+}
+
+// Run is the ad-hoc form of Schedule for schedule bodies outside the
+// registry (torus, named tree/butterfly and hierarchical schedules): fn is
+// the same per-rank body a fabric.Run recording would execute, driven here
+// once per rank, serially, against pattern endpoints.
+func Run(p int, fn func(c fabric.Comm) error) (*fabric.Trace, error) {
+	b := fabric.NewTraceBuilder(p)
+	for rank := 0; rank < p; rank++ {
+		if err := fn(b.Comm(rank)); err != nil {
+			return nil, fmt.Errorf("synth: rank %d: %w", rank, err)
+		}
+	}
+	return b.Trace(), nil
+}

@@ -51,6 +51,22 @@ func (k Key) addr() string {
 	return hex.EncodeToString(h[:16])
 }
 
+// Origin records how a stored trace was produced: synthesized from schedule
+// math or recorded on the goroutine fabric. It is stamped in a sidecar file
+// next to the trace — never inside the encoded trace or its content address
+// — so stores written before provenance existed (or with a sidecar lost)
+// stay warm and simply report OriginUnknown.
+type Origin string
+
+const (
+	// OriginUnknown marks a trace with no sidecar (pre-provenance stores).
+	OriginUnknown Origin = ""
+	// OriginRecorded marks a trace captured from a goroutine-fabric run.
+	OriginRecorded Origin = "recorded"
+	// OriginSynthesized marks a trace emitted by internal/synth.
+	OriginSynthesized Origin = "synthesized"
+)
+
 // Stats are the store's lifetime counters.
 type Stats struct {
 	// Hits and Misses count Load outcomes (a corrupt file counts as a miss).
@@ -87,6 +103,11 @@ func (s *Store) Enabled() bool { return s != nil && s.dir != "" }
 func (s *Store) path(k Key) string {
 	return filepath.Join(s.dir, k.addr()+".trace")
 }
+
+// originPath is the provenance sidecar next to a trace file. The ".origin"
+// suffix keeps it invisible to Prewarm's ".trace" filter, so provenance
+// rides along without changing the store format or the content addresses.
+func originPath(tracePath string) string { return tracePath + ".origin" }
 
 // statFile fingerprints an open store file for Load's eviction compare. A
 // package variable so tests can force the no-fingerprint fallback, which is
@@ -151,13 +172,19 @@ func (s *Store) evict(path string, fi os.FileInfo) {
 		}
 	}
 	os.Remove(path)
+	// The provenance sidecar describes the removed trace; an orphaned one
+	// would mis-stamp whatever trace is re-saved under the address later.
+	os.Remove(originPath(path))
 }
 
-// Save writes the trace under the key's content address. The write is
-// atomic (temp file + rename), so concurrent savers and crashed runs leave
-// either the complete trace or nothing; a Load can never observe a torn
-// write as anything but a (self-evicting) corrupt file.
-func (s *Store) Save(k Key, tr *fabric.Trace) error {
+// Save writes the trace under the key's content address, stamped with its
+// origin. The trace write is atomic (temp file + rename), so concurrent
+// savers and crashed runs leave either the complete trace or nothing; a
+// Load can never observe a torn write as anything but a (self-evicting)
+// corrupt file. The origin lands in a best-effort sidecar after the rename
+// — provenance is advisory, never load-bearing, so a lost sidecar merely
+// reads back as OriginUnknown.
+func (s *Store) Save(k Key, tr *fabric.Trace, origin Origin) error {
 	if !s.Enabled() {
 		return nil
 	}
@@ -186,8 +213,30 @@ func (s *Store) Save(k Key, tr *fabric.Trace) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("tracestore: %w", err)
 	}
+	if origin != OriginUnknown {
+		_ = os.WriteFile(originPath(s.path(k)), []byte(origin), 0o644)
+	}
 	s.saves.Add(1)
 	return nil
+}
+
+// Origin reports how the stored trace for the key was produced:
+// OriginSynthesized or OriginRecorded from its sidecar, OriginUnknown when
+// no (or an unrecognized) sidecar exists — which is exactly the state of
+// every store written before provenance stamping.
+func (s *Store) Origin(k Key) Origin {
+	if !s.Enabled() {
+		return OriginUnknown
+	}
+	raw, err := os.ReadFile(originPath(s.path(k)))
+	if err != nil {
+		return OriginUnknown
+	}
+	switch o := Origin(strings.TrimSpace(string(raw))); o {
+	case OriginRecorded, OriginSynthesized:
+		return o
+	}
+	return OriginUnknown
 }
 
 // PrewarmStats summarizes one Prewarm pass over the store directory.

@@ -35,10 +35,10 @@ func TestStoreRoundTrip(t *testing.T) {
 	if _, ok := s.Load(k1); ok {
 		t.Fatal("empty store hit")
 	}
-	if err := s.Save(k1, t1); err != nil {
+	if err := s.Save(k1, t1, OriginRecorded); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Save(k2, t2); err != nil {
+	if err := s.Save(k2, t2, OriginRecorded); err != nil {
 		t.Fatal(err)
 	}
 	got1, ok1 := s.Load(k1)
@@ -86,7 +86,7 @@ func TestStoreEvictsCorruptFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := testKey("ring", 1)
-	if err := s.Save(k, testTrace(8, 1)); err != nil {
+	if err := s.Save(k, testTrace(8, 1), OriginRecorded); err != nil {
 		t.Fatal(err)
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.trace"))
@@ -113,7 +113,7 @@ func TestStoreEvictsCorruptFiles(t *testing.T) {
 		t.Fatalf("stats %+v", st)
 	}
 	// The slot re-saves and loads cleanly afterwards.
-	if err := s.Save(k, testTrace(8, 1)); err != nil {
+	if err := s.Save(k, testTrace(8, 1), OriginRecorded); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Load(k); !ok {
@@ -133,7 +133,7 @@ func TestStoreEvictsCorruptFileWithoutFingerprint(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := testKey("ring", 1)
-	if err := s.Save(k, testTrace(8, 1)); err != nil {
+	if err := s.Save(k, testTrace(8, 1), OriginRecorded); err != nil {
 		t.Fatal(err)
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.trace"))
@@ -156,7 +156,7 @@ func TestStoreEvictsCorruptFileWithoutFingerprint(t *testing.T) {
 		t.Fatalf("stats %+v", st)
 	}
 	// A healthy file still loads through the ReadAll fallback path.
-	if err := s.Save(k, testTrace(8, 1)); err != nil {
+	if err := s.Save(k, testTrace(8, 1), OriginRecorded); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Load(k); !ok {
@@ -173,7 +173,7 @@ func TestStoreSaveFileMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Save(testKey("ring", 1), testTrace(8, 1)); err != nil {
+	if err := s.Save(testKey("ring", 1), testTrace(8, 1), OriginRecorded); err != nil {
 		t.Fatal(err)
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.trace"))
@@ -224,7 +224,7 @@ func TestStoreLoadEvictSaveRace(t *testing.T) {
 	go func() { // saver
 		defer wg.Done()
 		for i := 0; i < iters; i++ {
-			if err := s.Save(k, valid); err != nil {
+			if err := s.Save(k, valid, OriginRecorded); err != nil {
 				errc <- err
 				return
 			}
@@ -240,7 +240,7 @@ func TestStoreLoadEvictSaveRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Quiescent recovery: with the corrupter gone, one Save must stick.
-	if err := s.Save(k, valid); err != nil {
+	if err := s.Save(k, valid, OriginRecorded); err != nil {
 		t.Fatal(err)
 	}
 	tr, ok := s.Load(k)
@@ -259,14 +259,14 @@ func TestStorePrewarm(t *testing.T) {
 		t.Fatal(err)
 	}
 	t1, t2 := testTrace(8, 1), testTrace(16, 2)
-	if err := s.Save(testKey("ring", 1), t1); err != nil {
+	if err := s.Save(testKey("ring", 1), t1, OriginRecorded); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Save(testKey("swing", 1), t2); err != nil {
+	if err := s.Save(testKey("swing", 1), t2, OriginRecorded); err != nil {
 		t.Fatal(err)
 	}
 	badKey := testKey("bruck", 1)
-	if err := s.Save(badKey, testTrace(8, 3)); err != nil {
+	if err := s.Save(badKey, testTrace(8, 3), OriginRecorded); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(s.path(badKey), []byte("BTRCgarbage"), 0o644); err != nil {
@@ -311,12 +311,103 @@ func TestDisabledStore(t *testing.T) {
 		if _, ok := s.Load(testKey("ring", 1)); ok {
 			t.Fatal("disabled store hit")
 		}
-		if err := s.Save(testKey("ring", 1), testTrace(8, 1)); err != nil {
+		if err := s.Save(testKey("ring", 1), testTrace(8, 1), OriginRecorded); err != nil {
 			t.Fatal(err)
 		}
 		if st := s.Stats(); st != (Stats{}) {
 			t.Fatalf("stats %+v", st)
 		}
+	}
+}
+
+// TestStoreOriginSidecar covers provenance stamping: origins round-trip
+// through the sidecar, eviction removes the sidecar with the trace, and a
+// garbled sidecar degrades to OriginUnknown without touching the trace.
+func TestStoreOriginSidecar(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kSynth, kRec := testKey("ring", 1), testKey("swing", 1)
+	if err := s.Save(kSynth, testTrace(8, 1), OriginSynthesized); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(kRec, testTrace(8, 2), OriginRecorded); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Origin(kSynth); got != OriginSynthesized {
+		t.Fatalf("origin %q, want synthesized", got)
+	}
+	if got := s.Origin(kRec); got != OriginRecorded {
+		t.Fatalf("origin %q, want recorded", got)
+	}
+	// Corrupting the trace evicts the sidecar along with it: the slot's
+	// next save must not inherit stale provenance.
+	if err := os.WriteFile(s.path(kSynth), []byte("BTRCgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(kSynth); ok {
+		t.Fatal("corrupt file loaded")
+	}
+	if _, err := os.Stat(originPath(s.path(kSynth))); !os.IsNotExist(err) {
+		t.Fatal("sidecar survived its trace's eviction")
+	}
+	if got := s.Origin(kSynth); got != OriginUnknown {
+		t.Fatalf("evicted slot reports origin %q", got)
+	}
+	// A garbled sidecar is advisory damage only: the trace still loads, the
+	// origin reads unknown.
+	if err := os.WriteFile(originPath(s.path(kRec)), []byte("teleported"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(kRec); !ok {
+		t.Fatal("trace with a garbled sidecar did not load")
+	}
+	if got := s.Origin(kRec); got != OriginUnknown {
+		t.Fatalf("garbled sidecar reports origin %q", got)
+	}
+}
+
+// TestStoreOldFormatStaysWarm is the warm-compat gate for provenance (the
+// PR 4-style old-store check): a store directory written before origin
+// stamping existed — trace files under unchanged content addresses, no
+// sidecars — must keep serving hits, reporting OriginUnknown.
+func TestStoreOldFormatStaysWarm(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("ring", 1)
+	tr := testTrace(8, 1)
+	if err := s.Save(k, tr, OriginSynthesized); err != nil {
+		t.Fatal(err)
+	}
+	// Strip every sidecar: the directory is now byte-identical to one
+	// written by the pre-provenance Save (same codec, same addresses).
+	sidecars, err := filepath.Glob(filepath.Join(dir, "*.origin"))
+	if err != nil || len(sidecars) != 1 {
+		t.Fatalf("sidecars %v err %v", sidecars, err)
+	}
+	for _, sc := range sidecars {
+		if err := os.Remove(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := s.Load(k)
+	if !ok {
+		t.Fatal("old-format store went cold")
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatal("old-format store served a different trace")
+	}
+	if o := s.Origin(k); o != OriginUnknown {
+		t.Fatalf("old-format store reports origin %q", o)
+	}
+	// Prewarm must not count or evict sidecar-less traces either.
+	if ps, err := s.Prewarm(); err != nil || ps.Files != 1 || ps.Valid != 1 || ps.Corrupt != 0 {
+		t.Fatalf("prewarm %+v err %v", ps, err)
 	}
 }
 
