@@ -27,7 +27,13 @@
 // repeated -full runs and CI sweeps skip even synthesis. -v prints the
 // cache counters (memory/disk hits, synthesized/verified/fallback counts,
 // recordings, evictions, and the resident columnar footprint) to stderr so
-// warm and cold runs are observable.
+// warm and cold runs are observable, followed by the per-stage latency
+// breakdown — compile, execute, render, cache-lookup, store-load, synth,
+// fabric-record, evaluate — and the per-origin resolve histograms (count,
+// total, p50/p95/p99). -obs-json dumps the full metric registry (counters,
+// gauges, histogram buckets) as JSON for offline analysis; it shares one
+// metric vocabulary with binebenchd's /metrics endpoint, so sweep runs and
+// served runs are joinable.
 //
 // Usage:
 //
@@ -37,6 +43,7 @@
 //	binebench -experiment all -workers 1
 //	binebench -experiment all -trace-cache ~/.cache/binetrees -v
 //	binebench -experiment all -verify-synth       # synthesis vs fabric oracle
+//	binebench -experiment fig11b -obs-json obs.json
 //
 // Experiments: fig1, eq2, fig5, table3, fig9a, fig9b, table4, fig10a,
 // fig10b, table5, fig11a, fig11b, fig14, hier, ppn, appD, all.
@@ -51,6 +58,7 @@ import (
 	"sync"
 
 	"binetrees/internal/harness"
+	"binetrees/internal/obs"
 )
 
 func main() {
@@ -62,7 +70,8 @@ func main() {
 	traceCache := flag.String("trace-cache", "", "directory of the persistent trace store (empty = in-process cache only)")
 	synthOn := flag.Bool("synth", true, "synthesize cold traces directly from schedule math instead of recording on the goroutine fabric")
 	verifySynth := flag.Bool("verify-synth", false, "record every synthesized trace on the fabric too and fail on any encoded-byte difference")
-	verbose := flag.Bool("v", false, "print trace-cache statistics to stderr after the run")
+	verbose := flag.Bool("v", false, "print trace-cache statistics and the stage latency breakdown to stderr after the run")
+	obsJSON := flag.String("obs-json", "", "write the observability registry snapshot (counters, gauges, histogram buckets) as JSON to this file after the run (\"-\" = stderr)")
 	flag.Parse()
 	if *systems != "" && *experiment != "all" {
 		fmt.Fprintln(os.Stderr, "binebench: -systems only applies to -experiment all")
@@ -87,11 +96,82 @@ func main() {
 	}
 	if *verbose {
 		fmt.Fprintln(os.Stderr, harness.TraceCacheStats())
+		printStageBreakdown(os.Stderr)
+	}
+	if *obsJSON != "" {
+		if derr := dumpObsJSON(*obsJSON); derr != nil {
+			fmt.Fprintln(os.Stderr, "binebench:", derr)
+			os.Exit(1)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "binebench:", err)
 		os.Exit(1)
 	}
+}
+
+// printStageBreakdown renders the pipeline stage and resolver-origin latency
+// histograms accumulated over the run — the -v observability report. Stages
+// with no observations (e.g. store-load without -trace-cache) are omitted.
+func printStageBreakdown(w io.Writer) {
+	var stages, resolves []obs.MetricSnapshot
+	for _, s := range obs.Default.Snapshot() {
+		if s.Histogram == nil || s.Histogram.Count == 0 {
+			continue
+		}
+		switch s.Name {
+		case "binebench_stage_seconds":
+			stages = append(stages, s)
+		case "binebench_resolve_seconds":
+			resolves = append(resolves, s)
+		}
+	}
+	print := func(title string, snaps []obs.MetricSnapshot) {
+		if len(snaps) == 0 {
+			return
+		}
+		fmt.Fprintln(w, title)
+		for _, s := range snaps {
+			h := s.Histogram
+			fmt.Fprintf(w, "  %-24s n=%-7d total=%9.3fs  p50=%s p95=%s p99=%s\n",
+				s.Labels, h.Count, h.Sum, fmtSeconds(h.P50), fmtSeconds(h.P95), fmtSeconds(h.P99))
+		}
+	}
+	print("stage latency:", stages)
+	print("resolve latency by origin:", resolves)
+}
+
+// fmtSeconds renders a quantile estimate compactly (µs/ms/s by magnitude).
+func fmtSeconds(s float64) string {
+	switch {
+	case s < 1e-3:
+		return fmt.Sprintf("%6.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%6.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%7.3fs", s)
+	}
+}
+
+// dumpObsJSON writes the full metric registry snapshot as indented JSON —
+// the machine-readable counterpart of the -v breakdown, sharing its metric
+// vocabulary with binebenchd's /metrics endpoint.
+func dumpObsJSON(path string) error {
+	if path == "-" {
+		return obs.Default.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs-json: %w", err)
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs-json: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs-json: %w", err)
+	}
+	return nil
 }
 
 // progressPrinter renders the per-system cell counters as a single

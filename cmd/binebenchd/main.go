@@ -2,13 +2,19 @@
 // long-running daemon that answers (experiment, systems, scale) requests
 // from warm trace caches instead of re-running the suite per invocation.
 //
-// At startup it prewarms the shared -trace-cache directory — every stored
-// trace is decode-validated (corrupt files are evicted) and the resident
-// footprint is logged — then listens on -addr:
+// At startup it binds -addr immediately and prewarms the shared
+// -trace-cache directory in the background — every stored trace is
+// decode-validated (corrupt files are evicted) and the resident footprint
+// is logged. /healthz answers 200 from the first instant (liveness);
+// /readyz stays 503 until the prewarm pass completes (readiness), then
+// reports the validated footprint and how long the pass took:
 //
 //	GET /artifact/{experiment}?systems=...&full=...  streamed text artifact
-//	GET /healthz                                     liveness
+//	GET /healthz                                     liveness (always 200)
+//	GET /readyz                                      readiness; 503 while prewarming
 //	GET /statsz                                      counters as JSON
+//	GET /metrics                                     Prometheus text format
+//	GET /tracez                                      recent + slowest request timelines
 //
 // Responses are byte-identical to the binebench CLI's output for the same
 // request: both compile the experiment through the same plan path and render
@@ -24,19 +30,33 @@
 // may share one -trace-cache directory: stored traces are written
 // world-readable and corrupt files self-evict on either side.
 //
+// Every request carries a request ID (the client's X-Request-ID header, or
+// a generated one), echoed on the response and stamped on the JSON access
+// log line written per /artifact request (-access-log; stderr by default).
+// /metrics exposes stage latency histograms, resolver-origin counters and
+// pool gauges in Prometheus text format with no client dependency, and
+// /tracez returns the recent and slowest per-request stage timelines.
+// -debug-addr serves net/http/pprof on a separate listener so profiling
+// stays off the artifact port.
+//
 // Usage:
 //
 //	binebenchd -addr :8080 -trace-cache /var/cache/binetrees
+//	binebenchd -addr :8080 -debug-addr localhost:6060 -access-log access.jsonl
 //	curl localhost:8080/artifact/fig9a
 //	curl 'localhost:8080/artifact/all?systems=lumi,fugaku&full=true'
+//	curl localhost:8080/metrics
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,23 +67,36 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	traceCache := flag.String("trace-cache", "", "directory of the shared persistent trace store, prewarmed at startup (empty = in-process cache only)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty = disabled)")
+	accessLog := flag.String("access-log", "stderr", "JSON access log destination: stderr, stdout, a file path (appended), or off")
+	traceCache := flag.String("trace-cache", "", "directory of the shared persistent trace store, prewarmed in the background at startup (empty = in-process cache only)")
 	workers := flag.Int("workers", 0, "resident worker pool width shared by all requests (0 = one per CPU)")
 	synthOn := flag.Bool("synth", true, "synthesize cold traces directly from schedule math instead of recording on the goroutine fabric")
 	verifySynth := flag.Bool("verify-synth", false, "record every synthesized trace on the fabric too and fail on any encoded-byte difference")
 	flag.Parse()
+
+	logDst, logClose, err := openAccessLog(*accessLog)
+	if err != nil {
+		log.Fatalf("binebenchd: %v", err)
+	}
+	if logClose != nil {
+		defer logClose()
+	}
 
 	srv, err := service.New(service.Config{
 		TraceDir:     *traceCache,
 		Workers:      *workers,
 		DisableSynth: !*synthOn,
 		VerifySynth:  *verifySynth,
+		AccessLog:    logDst,
 	})
 	if err != nil {
 		log.Fatalf("binebenchd: %v", err)
 	}
 	if *traceCache != "" {
-		log.Printf("binebenchd: %v", srv.Prewarm())
+		// The prewarm pass runs in the background; log its outcome when it
+		// lands without holding the listener back. /readyz gates on it.
+		go log.Printf("binebenchd: %v", srv.Prewarm())
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -72,6 +105,17 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- hs.ListenAndServe() }()
 	log.Printf("binebenchd: serving artifacts on %s", *addr)
+
+	if *debugAddr != "" {
+		// net/http/pprof registers on the default mux; serving that mux on a
+		// dedicated listener keeps profiling off the artifact port entirely.
+		go func() {
+			log.Printf("binebenchd: serving pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, http.DefaultServeMux); err != nil {
+				log.Printf("binebenchd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-done:
@@ -85,4 +129,22 @@ func main() {
 		log.Printf("binebenchd: shutdown: %v", err)
 	}
 	srv.Close()
+}
+
+// openAccessLog resolves the -access-log destination. The returned closer is
+// non-nil only when a file was opened.
+func openAccessLog(dst string) (io.Writer, func() error, error) {
+	switch dst {
+	case "off", "":
+		return nil, nil, nil
+	case "stderr":
+		return os.Stderr, nil, nil
+	case "stdout":
+		return os.Stdout, nil, nil
+	}
+	f, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("access log: %w", err)
+	}
+	return f, f.Close, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"binetrees/internal/core"
 	"binetrees/internal/fabric"
 	"binetrees/internal/netsim"
+	"binetrees/internal/obs"
 	"binetrees/internal/stats"
 	"binetrees/internal/topology"
 )
@@ -45,8 +47,8 @@ func planFig1() (*plan, error) {
 	tasks := make([]task, len(kinds))
 	for i := range kinds {
 		i := i
-		tasks[i] = task{system: systemMisc, run: func() error {
-			tr, err := cachedNamedTrace("tree-bcast", kinds[i].String(), fmt.Sprintf("p=%d/n=%d", p, n), p, func(c fabric.Comm) error {
+		tasks[i] = task{system: systemMisc, run: func(ctx context.Context) error {
+			tr, err := cachedNamedTrace(ctx, "tree-bcast", kinds[i].String(), fmt.Sprintf("p=%d/n=%d", p, n), p, func(c fabric.Comm) error {
 				return coll.Bcast(c, trees[i], make([]int32, n))
 			})
 			if err != nil {
@@ -127,12 +129,12 @@ func planFig5(opts Options) (*plan, error) {
 		}
 	}
 	kinds := [2]core.ButterflyKind{core.BflyBineDD, core.BflyBinomialDD}
-	allreduceTrace := func(kind core.ButterflyKind, p int) (*fabric.Trace, error) {
+	allreduceTrace := func(ctx context.Context, kind core.ButterflyKind, p int) (*fabric.Trace, error) {
 		b, err := core.NewButterfly(kind, p)
 		if err != nil {
 			return nil, err
 		}
-		return cachedNamedTrace("bfly-allreduce", kind.String(), fmt.Sprintf("p=%d/n=%d", p, p), p, func(c fabric.Comm) error {
+		return cachedNamedTrace(ctx, "bfly-allreduce", kind.String(), fmt.Sprintf("p=%d/n=%d", p, p), p, func(c fabric.Comm) error {
 			return coll.AllreduceRsAg(c, b, make([]int32, p), coll.OpSum)
 		})
 	}
@@ -166,8 +168,8 @@ func planFig5(opts Options) (*plan, error) {
 			for ki := range kinds {
 				ki := ki
 				slot := slot
-				tasks = append(tasks, task{system: sc.key, run: func() error {
-					tr, err := allreduceTrace(kinds[ki], slot.p)
+				tasks = append(tasks, task{system: sc.key, run: func(ctx context.Context) error {
+					tr, err := allreduceTrace(ctx, kinds[ki], slot.p)
 					if err != nil {
 						return err
 					}
@@ -556,16 +558,18 @@ func planFig11b(opts Options) (*plan, error) {
 	tasks := make([]task, len(jobs))
 	for i := range jobs {
 		i := i
-		tasks[i] = task{system: systemFugaku, run: func() error {
+		tasks[i] = task{system: systemFugaku, run: func(ctx context.Context) error {
 			j := jobs[i]
 			tor, topo := tors[j.shape], topos[j.shape]
 			reduces := groups[j.group].collective.Reduces()
 			if j.torus != nil {
-				tr, n, err := cachedTorusTrace(*j.torus, tor, 0)
+				tr, n, err := cachedTorusTrace(ctx, *j.torus, tor, 0)
 				if err != nil {
 					return err
 				}
+				endEval := obs.TimeStage(ctx, obs.StageEvaluate)
 				rs, err := evaluateOnTorusSizes(tr, n, topo, sizes, reduces, j.torus.Overlap)
+				endEval()
 				if err != nil {
 					return err
 				}
@@ -585,10 +589,11 @@ func planFig11b(opts Options) (*plan, error) {
 					return nil // skipped: a nil slot folds as no result
 				}
 			}
-			tr, err := cachedTrace(algo, tor.P(), 0)
+			tr, err := cachedTrace(ctx, algo, tor.P(), 0)
 			if err != nil {
 				return err
 			}
+			defer obs.TimeStage(ctx, obs.StageEvaluate)()
 			placement := make([]int, tor.P())
 			for r := range placement {
 				placement[r] = r
@@ -735,17 +740,18 @@ func planHier(opts Options) (*plan, error) {
 	tasks := make([]task, len(times))
 	for i := range times {
 		i := i
-		tasks[i] = task{system: systemMisc, run: func() error {
+		tasks[i] = task{system: systemMisc, run: func(ctx context.Context) error {
 			ci, ai := i/algosPerCount, i%algosPerCount
 			p := counts[ci]
 			a := setups[ci].algos[ai]
 			n := p * gpusPerNode
-			tr, err := cachedNamedTrace("hier-allreduce", a.name, fmt.Sprintf("p=%d/n=%d", p, n), p, func(c fabric.Comm) error {
+			tr, err := cachedNamedTrace(ctx, "hier-allreduce", a.name, fmt.Sprintf("p=%d/n=%d", p, n), p, func(c fabric.Comm) error {
 				return a.run(c, make([]int32, n))
 			})
 			if err != nil {
 				return err
 			}
+			defer obs.TimeStage(ctx, obs.StageEvaluate)()
 			placement := make([]int, p)
 			for r := range placement {
 				placement[r] = r
@@ -823,15 +829,15 @@ func planAppD() (*plan, error) {
 	flatTree := core.MustTree(core.BineDH, tor.P(), 0)
 	var flatTr, torusTr *fabric.Trace
 	tasks := []task{
-		{system: systemFugaku, run: func() error {
-			tr, err := cachedNamedTrace("tree-bcast", core.BineDH.String(), fmt.Sprintf("p=%d/n=1", tor.P()), tor.P(), func(c fabric.Comm) error {
+		{system: systemFugaku, run: func(ctx context.Context) error {
+			tr, err := cachedNamedTrace(ctx, "tree-bcast", core.BineDH.String(), fmt.Sprintf("p=%d/n=1", tor.P()), tor.P(), func(c fabric.Comm) error {
 				return coll.Bcast(c, flatTree, make([]int32, 1))
 			})
 			flatTr = tr
 			return err
 		}},
-		{system: systemFugaku, run: func() error {
-			tr, err := cachedNamedTrace("torus-bcast", core.BineDH.String(), fmt.Sprintf("%v/n=1", tor.Dims), tor.P(), func(c fabric.Comm) error {
+		{system: systemFugaku, run: func(ctx context.Context) error {
+			tr, err := cachedNamedTrace(ctx, "torus-bcast", core.BineDH.String(), fmt.Sprintf("%v/n=1", tor.Dims), tor.P(), func(c fabric.Comm) error {
 				return coll.TorusBcast(c, tor, core.BineDH, 0, make([]int32, 1))
 			})
 			torusTr = tr

@@ -7,7 +7,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"binetrees/internal/obs"
 	"binetrees/internal/pool"
 )
 
@@ -23,10 +25,12 @@ import (
 
 // task is one schedulable cell of the flat cross-system job graph: an
 // independent recording or evaluation unit, labeled with the system key it
-// belongs to for progress accounting.
+// belongs to for progress accounting. run receives the drain's context so
+// cell-level stage timings (resolve, evaluate) attribute to the request
+// trace it may carry.
 type task struct {
 	system string
-	run    func() error
+	run    func(ctx context.Context) error
 }
 
 // plan is one experiment compiled for the job graph: tasks that may run in
@@ -84,8 +88,10 @@ func runPlan(w io.Writer, p *plan, err error, opts Options) error {
 		return err
 	}
 	tracker := newProgressTracker(opts.Progress, p.tasks)
+	ctx := context.Background()
+	endExec := obs.TimeStage(ctx, obs.StageExecute)
 	if err := pool.ForEach(opts.Workers, len(p.tasks), func(i int) error {
-		if err := p.tasks[i].run(); err != nil {
+		if err := p.tasks[i].run(ctx); err != nil {
 			return err
 		}
 		tracker.taskDone(p.tasks[i].system)
@@ -93,6 +99,8 @@ func runPlan(w io.Writer, p *plan, err error, opts Options) error {
 	}); err != nil {
 		return err
 	}
+	endExec()
+	defer obs.TimeStage(ctx, obs.StageRender)()
 	return p.render(w)
 }
 
@@ -218,18 +226,22 @@ func RunAll(w io.Writer, opts Options) error {
 // pool outlives every request. The rendering is the exact byte sequence
 // RunAll emits for the same Options.
 func RunAllOn(ctx context.Context, w io.Writer, runner *pool.Runner, opts Options) error {
+	_, endCompile := obs.StartSpan(ctx, obs.StageCompile)
 	selected, err := selectSteps(opts.Systems)
 	if err != nil {
+		endCompile()
 		return fmt.Errorf("harness: %w", err)
 	}
 	plans := make([]*plan, len(selected))
 	for i, s := range selected {
 		p, err := s.plan(opts)
 		if err != nil {
+			endCompile()
 			return fmt.Errorf("harness: %s: %w", s.name, err)
 		}
 		plans[i] = p
 	}
+	endCompile()
 	var flat []task
 	var flatStep []string
 	for i, p := range plans {
@@ -239,15 +251,20 @@ func RunAllOn(ctx context.Context, w io.Writer, runner *pool.Runner, opts Option
 		}
 	}
 	tracker := newProgressTracker(opts.Progress, flat)
-	if err := runner.ForEachCtx(ctx, len(flat), func(i int) error {
-		if err := flat[i].run(); err != nil {
+	ectx, endExec := obs.StartSpan(ctx, obs.StageExecute)
+	if err := runner.ForEachCtx(ectx, len(flat), func(i int) error {
+		if err := flat[i].run(ectx); err != nil {
 			return fmt.Errorf("harness: %s: %w", flatStep[i], err)
 		}
 		tracker.taskDone(flat[i].system)
 		return nil
 	}); err != nil {
+		endExec()
 		return err
 	}
+	endExec()
+	_, endRender := obs.StartSpan(ctx, obs.StageRender)
+	defer endRender()
 	for i, p := range plans {
 		if i > 0 {
 			fmt.Fprintln(w, strings.Repeat("=", 100))
@@ -308,15 +325,20 @@ func (e *Experiment) Tasks() int { return len(e.p.tasks) }
 // new cells (in-flight ones complete, keeping the shared caches consistent).
 func (e *Experiment) Run(ctx context.Context, w io.Writer, runner *pool.Runner, progress ProgressFunc) error {
 	tracker := newProgressTracker(progress, e.p.tasks)
-	if err := runner.ForEachCtx(ctx, len(e.p.tasks), func(i int) error {
-		if err := e.p.tasks[i].run(); err != nil {
+	ectx, endExec := obs.StartSpan(ctx, obs.StageExecute)
+	if err := runner.ForEachCtx(ectx, len(e.p.tasks), func(i int) error {
+		if err := e.p.tasks[i].run(ectx); err != nil {
 			return err
 		}
 		tracker.taskDone(e.p.tasks[i].system)
 		return nil
 	}); err != nil {
+		endExec()
 		return fmt.Errorf("harness: %s: %w", e.name, err)
 	}
+	endExec()
+	_, endRender := obs.StartSpan(ctx, obs.StageRender)
+	defer endRender()
 	if err := e.p.render(w); err != nil {
 		return fmt.Errorf("harness: %s: %w", e.name, err)
 	}
@@ -329,7 +351,9 @@ func (e *Experiment) Run(ctx context.Context, w io.Writer, runner *pool.Runner, 
 // binebenchd responses for the same request are byte-identical by
 // construction (and pinned by tests on both sides).
 func RunExperiment(w io.Writer, name string, opts Options) error {
+	start := time.Now()
 	e, err := CompileExperiment(name, opts)
+	obs.ObserveStage(obs.StageCompile, time.Since(start))
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -27,11 +28,11 @@ func TestTraceCacheConcurrent(t *testing.T) {
 	flat := make([][]*trPtr, lanes)
 	err := pool.ForEach(8, lanes, func(i int) error {
 		algo := algos[i%len(algos)]
-		tr, err := cachedTrace(algo, 16, 0)
+		tr, err := cachedTrace(context.Background(), algo, 16, 0)
 		if err != nil {
 			return err
 		}
-		ttr, n, err := cachedTorusTrace(ta, tor, 0)
+		ttr, n, err := cachedTorusTrace(context.Background(), ta, tor, 0)
 		if err != nil {
 			return err
 		}

@@ -2,14 +2,17 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"binetrees/internal/coll"
 	"binetrees/internal/core"
 	"binetrees/internal/fabric"
+	"binetrees/internal/obs"
 	"binetrees/internal/synth"
 	"binetrees/internal/tracestore"
 )
@@ -37,6 +40,10 @@ type traceEntry struct {
 	once sync.Once
 	tr   *fabric.Trace
 	err  error
+	// origin names the resolver tier that produced tr (obs.OriginStore /
+	// OriginSynth / OriginRecord), written inside once.Do and read only after
+	// it returns; waiters that found the entry report obs.OriginMemory.
+	origin string
 }
 
 var traceCache = struct {
@@ -191,7 +198,14 @@ func ResetTraceCache() {
 // instead. Resolved traces are written through to the store stamped with
 // their origin; failed resolutions are never written anywhere and their
 // in-process slot is evicted so a later request retries.
-func cachedTraceKey(key tracestore.Key, synthesize, record func() (*fabric.Trace, error)) (*fabric.Trace, error) {
+//
+// ctx carries the request trace, if any: each resolver stage the leader runs
+// (store-load, synth, fabric-record) is timed into the global stage
+// histograms and the trace's aggregates; waiters served from the in-process
+// tier — including time blocked on a concurrent leader — report under
+// cache-lookup. The whole resolution lands in the per-origin resolve metrics.
+func cachedTraceKey(ctx context.Context, key tracestore.Key, synthesize, record func() (*fabric.Trace, error)) (*fabric.Trace, error) {
+	resolveStart := time.Now()
 	traceCache.mu.Lock()
 	e, ok := traceCache.m[key]
 	if !ok {
@@ -201,12 +215,20 @@ func cachedTraceKey(key tracestore.Key, synthesize, record func() (*fabric.Trace
 	traceCache.mu.Unlock()
 	e.once.Do(func() {
 		s := store.Load()
-		if tr, hit := s.Load(key); hit {
+		loadStart := time.Now()
+		tr, hit := s.Load(key)
+		if s.Enabled() {
+			obs.ObserveStageCtx(ctx, obs.StageStoreLoad, time.Since(loadStart))
+		}
+		if hit {
 			e.tr = tr
+			e.origin = obs.OriginStore
 		} else {
 			origin := tracestore.OriginRecorded
 			if synthesize != nil && !synthDisabled.Load() {
+				synthStart := time.Now()
 				tr, err := synthesize()
+				obs.ObserveStageCtx(ctx, obs.StageSynth, time.Since(synthStart))
 				switch {
 				case err != nil:
 					// A schedule the synthesizer cannot walk falls through
@@ -218,24 +240,31 @@ func cachedTraceKey(key tracestore.Key, synthesize, record func() (*fabric.Trace
 					// goroutine fabric (the oracle) and require the two
 					// encodings to match byte for byte.
 					cacheCounters.records.Add(1)
+					recordStart := time.Now()
 					rt, rerr := record()
+					obs.ObserveStageCtx(ctx, obs.StageRecord, time.Since(recordStart))
 					if rerr != nil {
 						e.err = rerr
 					} else if e.err = diffTraces(key, tr, rt); e.err == nil {
 						cacheCounters.synthVerified.Add(1)
 						cacheCounters.synthHits.Add(1)
 						e.tr = tr
+						e.origin = obs.OriginSynth
 						origin = tracestore.OriginSynthesized
 					}
 				default:
 					cacheCounters.synthHits.Add(1)
 					e.tr = tr
+					e.origin = obs.OriginSynth
 					origin = tracestore.OriginSynthesized
 				}
 			}
 			if e.tr == nil && e.err == nil {
 				cacheCounters.records.Add(1)
+				recordStart := time.Now()
 				e.tr, e.err = record()
+				obs.ObserveStageCtx(ctx, obs.StageRecord, time.Since(recordStart))
+				e.origin = obs.OriginRecord
 			}
 			if e.err == nil {
 				// Write-behind is best-effort: a read-only or full cache
@@ -266,6 +295,14 @@ func cachedTraceKey(key tracestore.Key, synthesize, record func() (*fabric.Trace
 		// then errors and evicts were never served from the warm tier, and
 		// counting them made -v over-report warm hits under concurrency.
 		cacheCounters.memHits.Add(1)
+		obs.ObserveStageCtx(ctx, obs.StageCacheLookup, time.Since(resolveStart))
+	}
+	if e.err == nil {
+		origin := e.origin
+		if ok {
+			origin = obs.OriginMemory
+		}
+		obs.ObserveResolve(ctx, origin, time.Since(resolveStart))
 	}
 	return e.tr, e.err
 }
@@ -309,7 +346,7 @@ func encodeTraceBytes(tr *fabric.Trace) ([]byte, error) {
 }
 
 // cachedTrace returns a registry algorithm's unit-granularity trace.
-func cachedTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
+func cachedTrace(ctx context.Context, algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
 	key := tracestore.Key{
 		Kind:         "flat",
 		Collective:   algo.Coll.String(),
@@ -318,7 +355,7 @@ func cachedTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
 		Root:         root,
 		SchedVersion: schedVersion,
 	}
-	return cachedTraceKey(key,
+	return cachedTraceKey(ctx, key,
 		func() (*fabric.Trace, error) { return synthTrace(algo, p, root) },
 		func() (*fabric.Trace, error) { return recordTrace(algo, p, root) })
 }
@@ -326,7 +363,7 @@ func cachedTrace(algo coll.Algorithm, p, root int) (*fabric.Trace, error) {
 // cachedTorusTrace is cachedTrace for torus-geometry algorithms, which the
 // registry does not cover; the torus shape and the recorded element count
 // join the identity.
-func cachedTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, int, error) {
+func cachedTorusTrace(ctx context.Context, ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, int, error) {
 	n := torusRecordedElems(ta, tor)
 	key := tracestore.Key{
 		Kind:         "torus",
@@ -336,7 +373,7 @@ func cachedTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, in
 		Root:         root,
 		SchedVersion: schedVersion,
 	}
-	tr, err := cachedTraceKey(key,
+	tr, err := cachedTraceKey(ctx, key,
 		func() (*fabric.Trace, error) { return synthTorusTrace(ta, tor, root) },
 		func() (*fabric.Trace, error) { return recordTorusTrace(ta, tor, root) })
 	return tr, n, err
@@ -348,14 +385,14 @@ func cachedTorusTrace(ta torusAlgo, tor core.Torus, root int) (*fabric.Trace, in
 // body fn over p ranks, including its recorded element count. Every such
 // body is data-independent, so the resolver synthesizes it with a serial
 // pattern walk and touches the fabric only as fallback or under verify mode.
-func cachedNamedTrace(kind, name, shape string, p int, fn func(c fabric.Comm) error) (*fabric.Trace, error) {
+func cachedNamedTrace(ctx context.Context, kind, name, shape string, p int, fn func(c fabric.Comm) error) (*fabric.Trace, error) {
 	key := tracestore.Key{
 		Kind:         kind,
 		Algo:         name,
 		Shape:        shape,
 		SchedVersion: schedVersion,
 	}
-	return cachedTraceKey(key,
+	return cachedTraceKey(ctx, key,
 		func() (*fabric.Trace, error) { return synth.Run(p, fn) },
 		func() (*fabric.Trace, error) { return recordBody(kind, name, p, fn) })
 }

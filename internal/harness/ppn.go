@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"binetrees/internal/coll"
 	"binetrees/internal/netsim"
+	"binetrees/internal/obs"
 )
 
 // PPN reproduces the Sec. 6.1 study: the same collectives with one vs four
@@ -63,7 +65,7 @@ func planPPN(opts Options) (*plan, error) {
 	tasks := make([]task, len(jobs))
 	for i := range jobs {
 		i := i
-		tasks[i] = task{system: sys.Key, run: func() error {
+		tasks[i] = task{system: sys.Key, run: func(ctx context.Context) error {
 			j := jobs[i]
 			p := nodes * j.ppn
 			placement := make([]int, p)
@@ -74,10 +76,11 @@ func planPPN(opts Options) (*plan, error) {
 			if !ok {
 				return fmt.Errorf("%v/%s not registered", j.collective, j.name)
 			}
-			tr, err := cachedTrace(algo, p, 0)
+			tr, err := cachedTrace(ctx, algo, p, 0)
 			if err != nil {
 				return err
 			}
+			defer obs.TimeStage(ctx, obs.StageEvaluate)()
 			elemBytes := make([]float64, len(sizes))
 			copyBytes := make([]float64, len(sizes))
 			for si, size := range sizes {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"os"
 	"strings"
@@ -64,13 +65,13 @@ func TestFailedRecordingNeverCachedOrStored(t *testing.T) {
 		return rec.Trace(), nil
 	}
 	key := tracestore.Key{Kind: "test-evict", Algo: "x", Shape: "p=2", SchedVersion: schedVersion}
-	if _, err := cachedTraceKey(key, nil, record); !errors.Is(err, fabric.ErrTimeout) {
+	if _, err := cachedTraceKey(context.Background(), key, nil, record); !errors.Is(err, fabric.ErrTimeout) {
 		t.Fatalf("first attempt: got %v, want timeout", err)
 	}
 	if n := countTraceFiles(t, dir); n != 0 {
 		t.Fatalf("failed recording reached the store: %d files", n)
 	}
-	tr, err := cachedTraceKey(key, nil, record)
+	tr, err := cachedTraceKey(context.Background(), key, nil, record)
 	if err != nil {
 		t.Fatalf("retry after eviction: %v", err)
 	}
@@ -85,7 +86,7 @@ func TestFailedRecordingNeverCachedOrStored(t *testing.T) {
 	}
 	// The successful recording is cached normally: a third request must
 	// not record again — and its stored trace is stamped as recorded.
-	if _, err := cachedTraceKey(key, nil, record); err != nil || attempts != 2 {
+	if _, err := cachedTraceKey(context.Background(), key, nil, record); err != nil || attempts != 2 {
 		t.Fatalf("cached success re-recorded: attempts=%d err=%v", attempts, err)
 	}
 	if o := storeOrigin(key); o != tracestore.OriginRecorded {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -29,7 +30,7 @@ func hammerKey(t *testing.T, key tracestore.Key, lanes int, record func() (*fabr
 		go func() {
 			defer wg.Done()
 			entered.Add(1)
-			if _, err := cachedTraceKey(key, nil, rec); err != nil {
+			if _, err := cachedTraceKey(context.Background(), key, nil, rec); err != nil {
 				errCount.Add(1)
 			}
 		}()
@@ -83,7 +84,7 @@ func TestMemoryHitAccountingConcurrent(t *testing.T) {
 	}
 
 	// Re-requesting the resolved key serially still counts hits.
-	if _, err := cachedTraceKey(key("succeeds"), nil, func() (*fabric.Trace, error) {
+	if _, err := cachedTraceKey(context.Background(), key("succeeds"), nil, func() (*fabric.Trace, error) {
 		return nil, errors.New("must not re-record")
 	}); err != nil {
 		t.Fatal(err)

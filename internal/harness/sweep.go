@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"binetrees/internal/coll"
 	"binetrees/internal/core"
 	"binetrees/internal/fabric"
 	"binetrees/internal/netsim"
+	"binetrees/internal/obs"
 	"binetrees/internal/pool"
 	"binetrees/internal/synth"
 	"binetrees/internal/topology"
@@ -171,12 +173,13 @@ func planSweep(sys System, collective coll.Collective, counts []int, sizes []int
 	tasks := make([]task, len(jobs))
 	for i := range jobs {
 		i := i
-		tasks[i] = task{system: sys.Key, run: func() error {
+		tasks[i] = task{system: sys.Key, run: func(ctx context.Context) error {
 			j := jobs[i]
-			tr, err := cachedTrace(j.algo, j.p, 0)
+			tr, err := cachedTrace(ctx, j.algo, j.p, 0)
 			if err != nil {
 				return err
 			}
+			defer obs.TimeStage(ctx, obs.StageEvaluate)()
 			// One structural replay scores every vector size of the cell:
 			// EvaluateSizes derives each size's Result arithmetically from
 			// the shared per-step profile, exactly matching per-size
@@ -230,7 +233,8 @@ func sweepCollective(sys System, collective coll.Collective, counts []int, sizes
 	if err != nil {
 		return nil, err
 	}
-	if err := pool.ForEach(workers, len(tasks), func(i int) error { return tasks[i].run() }); err != nil {
+	ctx := context.Background()
+	if err := pool.ForEach(workers, len(tasks), func(i int) error { return tasks[i].run(ctx) }); err != nil {
 		return nil, err
 	}
 	return finish(), nil

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func TestResolverChainCounters(t *testing.T) {
 
 	// Cold key with a working synthesizer: resolved without touching the
 	// fabric, written through stamped synthesized.
-	if _, err := cachedTraceKey(synthKey("a"), synthOK, mustNotRun("record")); err != nil {
+	if _, err := cachedTraceKey(context.Background(), synthKey("a"), synthOK, mustNotRun("record")); err != nil {
 		t.Fatal(err)
 	}
 	s := TraceCacheStats()
@@ -54,7 +55,7 @@ func TestResolverChainCounters(t *testing.T) {
 	// nor recording runs.
 	ResetTraceCache()
 	diskHits := TraceCacheStats().DiskHits
-	if _, err := cachedTraceKey(synthKey("a"), mustNotRun("synthesize"), mustNotRun("record")); err != nil {
+	if _, err := cachedTraceKey(context.Background(), synthKey("a"), mustNotRun("synthesize"), mustNotRun("record")); err != nil {
 		t.Fatal(err)
 	}
 	s = TraceCacheStats()
@@ -64,7 +65,7 @@ func TestResolverChainCounters(t *testing.T) {
 
 	// A failing synthesizer is a counted fallback, not an error: the fabric
 	// records, and the store stamp says so.
-	if _, err := cachedTraceKey(synthKey("b"),
+	if _, err := cachedTraceKey(context.Background(), synthKey("b"),
 		func() (*fabric.Trace, error) { return nil, errors.New("cannot walk") },
 		synthOK); err != nil {
 		t.Fatal(err)
@@ -79,7 +80,7 @@ func TestResolverChainCounters(t *testing.T) {
 
 	// Synthesis disabled: the synthesizer must not even be consulted.
 	SetSynthesis(false)
-	if _, err := cachedTraceKey(synthKey("c"), mustNotRun("synthesize"), synthOK); err != nil {
+	if _, err := cachedTraceKey(context.Background(), synthKey("c"), mustNotRun("synthesize"), synthOK); err != nil {
 		t.Fatal(err)
 	}
 	s = TraceCacheStats()
@@ -106,7 +107,7 @@ func TestVerifySynthMode(t *testing.T) {
 	same := func() (*fabric.Trace, error) { return synthTestTrace(1), nil }
 	other := func() (*fabric.Trace, error) { return synthTestTrace(2), nil }
 
-	if _, err := cachedTraceKey(synthKey("match"), same, same); err != nil {
+	if _, err := cachedTraceKey(context.Background(), synthKey("match"), same, same); err != nil {
 		t.Fatal(err)
 	}
 	s := TraceCacheStats()
@@ -117,7 +118,7 @@ func TestVerifySynthMode(t *testing.T) {
 		t.Fatalf("verified trace stamped %q", o)
 	}
 
-	_, err := cachedTraceKey(synthKey("diverge"), same, other)
+	_, err := cachedTraceKey(context.Background(), synthKey("diverge"), same, other)
 	if err == nil || !strings.Contains(err.Error(), "record 0 diverges") {
 		t.Fatalf("divergence not reported: %v", err)
 	}
@@ -129,7 +130,7 @@ func TestVerifySynthMode(t *testing.T) {
 		t.Fatal("diverging trace reached the store")
 	}
 	// The failed key was evicted, not poisoned: a fixed synthesizer passes.
-	if _, err := cachedTraceKey(synthKey("diverge"), other, other); err != nil {
+	if _, err := cachedTraceKey(context.Background(), synthKey("diverge"), other, other); err != nil {
 		t.Fatalf("retry after divergence: %v", err)
 	}
 	if s := TraceCacheStats(); s.SynthVerified != 2 {

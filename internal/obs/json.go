@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"time"
+)
+
+// Dump is the JSON form of a registry snapshot — the binebench -obs-json
+// artifact, sharing one vocabulary with the served /metrics endpoint so
+// sweep runs and served runs are joinable.
+type Dump struct {
+	Time    time.Time        `json:"time"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// WriteJSON writes the registry snapshot as indented JSON. Infinite bucket
+// bounds are clamped to the largest finite float64 so the document stays
+// valid JSON (encoding/json rejects +Inf).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	d := Dump{Time: time.Now().UTC(), Metrics: r.Snapshot()}
+	for i := range d.Metrics {
+		for j := range d.Metrics[i].Buckets {
+			if math.IsInf(d.Metrics[i].Buckets[j].LE, 1) {
+				d.Metrics[i].Buckets[j].LE = math.MaxFloat64
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultWorkers is the pool width used when the caller passes workers <= 0:
@@ -73,6 +74,45 @@ type Runner struct {
 	jobs    chan func()
 	wg      sync.WaitGroup
 	workers int
+
+	// Observability counters, maintained with atomics on the job path so a
+	// resident service Runner can expose queue depth, in-flight work, and
+	// cumulative wait/busy time without locks (see Stats).
+	queued   atomic.Int64
+	inFlight atomic.Int64
+	done     atomic.Uint64
+	waitNs   atomic.Int64
+	busyNs   atomic.Int64
+}
+
+// RunnerStats is a point-in-time view of a Runner's job flow.
+type RunnerStats struct {
+	// Workers is the fixed pool width.
+	Workers int `json:"workers"`
+	// QueueDepth counts jobs submitted but not yet picked up by a worker.
+	QueueDepth int64 `json:"queue_depth"`
+	// InFlight counts jobs currently executing.
+	InFlight int64 `json:"in_flight"`
+	// JobsDone counts completed jobs over the Runner's lifetime.
+	JobsDone uint64 `json:"jobs_done"`
+	// WaitSeconds totals submit-to-start latency across all jobs — the
+	// queue pressure signal.
+	WaitSeconds float64 `json:"wait_seconds"`
+	// BusySeconds totals execution time — worker utilization is
+	// BusySeconds / (uptime × Workers).
+	BusySeconds float64 `json:"busy_seconds"`
+}
+
+// Stats snapshots the runner's observability counters.
+func (r *Runner) Stats() RunnerStats {
+	return RunnerStats{
+		Workers:     r.workers,
+		QueueDepth:  r.queued.Load(),
+		InFlight:    r.inFlight.Load(),
+		JobsDone:    r.done.Load(),
+		WaitSeconds: float64(r.waitNs.Load()) / 1e9,
+		BusySeconds: float64(r.busyNs.Load()) / 1e9,
+	}
 }
 
 // NewRunner starts a pool of the given width (<= 0 selects DefaultWorkers).
@@ -137,8 +177,19 @@ func (r *Runner) ForEachCtx(ctx context.Context, n int, fn func(i int) error) er
 		}
 		i := i
 		wg.Add(1)
+		submitted := time.Now()
+		r.queued.Add(1)
 		r.jobs <- func() {
-			defer wg.Done()
+			started := time.Now()
+			r.queued.Add(-1)
+			r.inFlight.Add(1)
+			r.waitNs.Add(started.Sub(submitted).Nanoseconds())
+			defer func() {
+				r.busyNs.Add(time.Since(started).Nanoseconds())
+				r.inFlight.Add(-1)
+				r.done.Add(1)
+				wg.Done()
+			}()
 			if err := fn(i); err != nil {
 				errs[i] = err
 				failed.Store(true)

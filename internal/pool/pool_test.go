@@ -200,3 +200,27 @@ func TestCollect(t *testing.T) {
 		t.Fatalf("got %v", err)
 	}
 }
+
+// TestRunnerStats pins the observability counters: after a drained batch
+// the queue and in-flight gauges are back to zero, every job is counted
+// done, and the wait/busy accumulators moved.
+func TestRunnerStats(t *testing.T) {
+	r := NewRunner(2)
+	defer r.Close()
+	const n = 50
+	if err := r.ForEach(n, func(i int) error {
+		if s := r.Stats(); s.InFlight < 1 || s.InFlight > 2 {
+			t.Errorf("in-flight %d outside pool width", s.InFlight)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.Workers != 2 || s.QueueDepth != 0 || s.InFlight != 0 || s.JobsDone != n {
+		t.Fatalf("stats after drain: %+v", s)
+	}
+	if s.WaitSeconds < 0 || s.BusySeconds <= 0 {
+		t.Fatalf("time accumulators: %+v", s)
+	}
+}

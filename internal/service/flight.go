@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"sync"
+
+	"binetrees/internal/obs"
 )
 
 // broadcast is an append-only byte stream with any number of readers: the
@@ -13,6 +15,11 @@ import (
 // at an index below the published length are never rewritten, so readers
 // copy nothing and hold no lock while writing chunks to their connections.
 type broadcast struct {
+	// trace is the flight leader's request trace, set before the broadcast
+	// is published and immutable after: followers read it for the stage
+	// breakdown of the render they joined.
+	trace *obs.Trace
+
 	mu   sync.Mutex
 	cond *sync.Cond
 	buf  []byte
@@ -123,15 +130,18 @@ type flightGroup struct {
 
 // do returns the broadcast carrying the rendering for key, launching render
 // on a new goroutine when no identical request is in flight. joined reports
-// whether an existing flight was reused. The render runs to completion even
-// if every reader disconnects — its work warms the shared caches either way.
-func (g *flightGroup) do(key string, render func(w io.Writer) error) (b *broadcast, joined bool) {
+// whether an existing flight was reused — in which case tr (the caller's
+// request trace) is discarded and the broadcast carries the leader's. The
+// render runs to completion even if every reader disconnects — its work
+// warms the shared caches either way.
+func (g *flightGroup) do(key string, tr *obs.Trace, render func(w io.Writer) error) (b *broadcast, joined bool) {
 	g.mu.Lock()
 	if b, ok := g.m[key]; ok {
 		g.mu.Unlock()
 		return b, true
 	}
 	b = newBroadcast()
+	b.trace = tr
 	if g.m == nil {
 		g.m = map[string]*broadcast{}
 	}

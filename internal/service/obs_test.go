@@ -1,0 +1,338 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"binetrees/internal/harness"
+	"binetrees/internal/obs"
+)
+
+// TestStatszUnderLoad hammers /statsz and /metrics while artifact requests
+// run concurrently — the data-race audit of the stats surface, meaningful
+// under -race (CI runs this package with it). Correctness of the bodies is
+// covered elsewhere; here every response just has to be well-formed while
+// the counters, the pool gauges, and the prewarm fields churn.
+func TestStatszUnderLoad(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if code, body := get(t, ts.URL+"/statsz"); code != http.StatusOK {
+					t.Errorf("statsz: %d %s", code, body)
+					return
+				}
+				if code, _ := get(t, ts.URL+"/metrics"); code != http.StatusOK {
+					t.Errorf("metrics: %d", code)
+					return
+				}
+			}
+		}()
+	}
+	for _, name := range []string{"fig1", "eq2", "appD", "fig1"} {
+		if code, body := get(t, ts.URL+"/artifact/"+name); code != http.StatusOK {
+			t.Fatalf("%s: %d %s", name, code, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestReadiness pins the liveness/readiness split: /healthz is 200 from the
+// first instant, /readyz holds 503 while the trace-store prewarm runs and
+// flips to 200 with the prewarm footprint and duration once it completes.
+func TestReadiness(t *testing.T) {
+	gate := make(chan struct{})
+	prewarmGate = func() { <-gate }
+	defer func() { prewarmGate = nil }()
+	srv, ts := newTestServer(t, t.TempDir())
+
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz while prewarming: %d %q", code, body)
+	}
+	code, body := get(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before prewarm: %d %q, want 503", code, body)
+	}
+	if snap := srv.Snapshot(); snap.Ready {
+		t.Fatal("statsz reported ready before the prewarm finished")
+	}
+
+	close(gate)
+	srv.Prewarm() // blocks until the background pass completes
+	code, body = get(t, ts.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz after prewarm: %d %q", code, body)
+	}
+	if !strings.Contains(body, "trace store prewarm:") || !strings.Contains(body, "prewarm took ") {
+		t.Fatalf("readyz body lacks the prewarm report: %q", body)
+	}
+	snap := srv.Snapshot()
+	if !snap.Ready || snap.PrewarmSeconds <= 0 {
+		t.Fatalf("statsz after prewarm: %+v", snap)
+	}
+}
+
+// TestRequestID pins propagation: a caller-supplied X-Request-ID echoes back
+// on the response (success and error paths alike), and requests without one
+// get a generated ID.
+func TestRequestID(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	do := func(path, sendID string) (*http.Response, string) {
+		req, err := http.NewRequest("GET", ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sendID != "" {
+			req.Header.Set("X-Request-ID", sendID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp, resp.Header.Get("X-Request-ID")
+	}
+	if _, id := do("/artifact/fig1", "herd-42"); id != "herd-42" {
+		t.Fatalf("supplied request ID not echoed: %q", id)
+	}
+	resp, id := do("/artifact/nope", "err-7")
+	if resp.StatusCode != http.StatusNotFound || id != "err-7" {
+		t.Fatalf("error path: %d, id %q", resp.StatusCode, id)
+	}
+	if _, id := do("/artifact/fig1", ""); !strings.HasPrefix(id, "req-") {
+		t.Fatalf("no generated request ID: %q", id)
+	}
+	if _, id := do("/artifact/fig1", strings.Repeat("x", 200)); len(id) != 64 {
+		t.Fatalf("oversized request ID not bounded: %d bytes", len(id))
+	}
+}
+
+// TestMetricsEndpoint serves an experiment and scrapes /metrics: the core
+// series of every pipeline stage and resolver origin must be present, in
+// parseable Prometheus text form (every non-comment line is `name{labels}
+// value`), with the serve histogram actually populated.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	if code, body := get(t, ts.URL+"/artifact/fig1"); code != http.StatusOK {
+		t.Fatalf("artifact: %d %s", code, body)
+	}
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, s := range obs.Stages() {
+		if !strings.Contains(body, fmt.Sprintf(`binebench_stage_seconds_count{stage="%s"}`, s)) {
+			t.Errorf("stage series %q missing", s)
+		}
+	}
+	for _, o := range obs.Origins() {
+		if !strings.Contains(body, fmt.Sprintf(`binebench_resolve_seconds_count{origin="%s"}`, o)) {
+			t.Errorf("resolve series %q missing", o)
+		}
+	}
+	for _, series := range []string{
+		"binebenchd_requests_total{code=\"200\"}",
+		"binebenchd_serve_seconds_bucket{le=\"+Inf\"}",
+		"binebenchd_response_bytes_total",
+		"binebenchd_pool_queue_depth",
+		"binebenchd_pool_workers",
+		"binebenchd_ready",
+		"binebench_synth_traces_total",
+		"binebench_tracestore_loads_total{result=\"hit\"}",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("series %q missing from /metrics", series)
+		}
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines++
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[1], "%g", &v); err != nil {
+			t.Fatalf("non-numeric sample %q: %v", line, err)
+		}
+	}
+	if lines < 50 {
+		t.Fatalf("suspiciously small exposition: %d samples", lines)
+	}
+}
+
+// TestTracezTimeline is the stage-attribution pin: a served experiment's
+// trace shows the serial compile → execute → render spans, and — because the
+// leader runs them contiguously on the flight goroutine — their durations
+// sum to the flight's wall time (within tolerance for scheduling noise).
+func TestTracezTimeline(t *testing.T) {
+	harness.ResetTraceCache()
+	_, ts := newTestServer(t, "")
+	req, _ := http.NewRequest("GET", ts.URL+"/artifact/fig11b", nil)
+	req.Header.Set("X-Request-ID", "tracez-pin")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact: %d", resp.StatusCode)
+	}
+	code, body := get(t, ts.URL+"/tracez")
+	if code != http.StatusOK {
+		t.Fatalf("tracez: %d", code)
+	}
+	var doc struct {
+		Recent  []obs.TraceSummary `json:"recent"`
+		Slowest []obs.TraceSummary `json:"slowest"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("tracez not JSON: %v\n%s", err, body)
+	}
+	var tr *obs.TraceSummary
+	for i := range doc.Recent {
+		if doc.Recent[i].ID == "tracez-pin" {
+			tr = &doc.Recent[i]
+		}
+	}
+	if tr == nil {
+		t.Fatalf("request trace absent from /tracez recent view: %s", body)
+	}
+	if len(doc.Slowest) == 0 {
+		t.Fatal("slowest view empty after a served request")
+	}
+	spanMS := map[string]float64{}
+	var sum float64
+	for _, sp := range tr.Spans {
+		if sp.Depth == 0 {
+			spanMS[sp.Name] += sp.MS
+			sum += sp.MS
+		}
+	}
+	for _, want := range []string{obs.StageCompile, obs.StageExecute, obs.StageRender} {
+		if _, ok := spanMS[want]; !ok {
+			t.Errorf("span %q missing from timeline: %+v", want, tr.Spans)
+		}
+	}
+	if tr.WallMS <= 0 {
+		t.Fatalf("wall %.3fms", tr.WallMS)
+	}
+	// The three spans run back to back on the leader goroutine; the only
+	// slack is flight bookkeeping. Generous bounds keep loaded CI green.
+	if ratio := sum / tr.WallMS; ratio < 0.5 || ratio > 1.05 {
+		t.Errorf("top-level spans sum to %.3fms of %.3fms wall (ratio %.2f)", sum, tr.WallMS, ratio)
+	}
+	if len(tr.Stages) == 0 {
+		t.Error("trace carries no per-cell stage aggregates")
+	}
+}
+
+// TestAccessLog pins the structured log: one JSON line per request carrying
+// the request ID, plan key, singleflight role, status, bytes, and the stage
+// breakdown; parse errors are logged too, with their status and error.
+func TestAccessLog(t *testing.T) {
+	harness.ResetTraceCache()
+	var buf bytes.Buffer
+	logw := &syncWriter{w: &buf}
+	srv, err := New(Config{AccessLog: logw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestFrontend(t, srv)
+	req, _ := http.NewRequest("GET", ts.URL+"/artifact/fig1", nil)
+	req.Header.Set("X-Request-ID", "log-pin")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if code, _ := get(t, ts.URL+"/artifact/bogus"); code != http.StatusNotFound {
+		t.Fatalf("bogus artifact: %d", code)
+	}
+	var entries []accessEntry
+	logw.mu.Lock()
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var e accessEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("access log line not JSON: %v\n%s", err, sc.Text())
+		}
+		entries = append(entries, e)
+	}
+	logw.mu.Unlock()
+	if len(entries) != 2 {
+		t.Fatalf("%d access log entries, want 2: %+v", len(entries), entries)
+	}
+	ok := entries[0]
+	if ok.RequestID != "log-pin" || ok.Status != http.StatusOK || ok.Role != "leader" ||
+		ok.Bytes == 0 || ok.PlanKey == "" || ok.Trace == nil || ok.DurMS <= 0 {
+		t.Fatalf("success entry %+v", ok)
+	}
+	if _, has := findSpan(ok.Trace.Spans, obs.StageRender); !has {
+		t.Fatalf("success entry's trace lacks the render span: %+v", ok.Trace)
+	}
+	bad := entries[1]
+	if bad.Status != http.StatusNotFound || bad.Error == "" || bad.RequestID == "" {
+		t.Fatalf("error entry %+v", bad)
+	}
+}
+
+func findSpan(spans []obs.SpanSummary, name string) (obs.SpanSummary, bool) {
+	for _, sp := range spans {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return obs.SpanSummary{}, false
+}
+
+// syncWriter serializes writes so the test can read the buffer while the
+// server may still be logging.
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// newTestFrontend wraps a caller-built Server in an httptest frontend with
+// the standard teardown (used when the test needs a custom Config).
+func newTestFrontend(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		if err := harness.SetTraceStore(""); err != nil {
+			t.Error(err)
+		}
+		harness.ResetTraceCache()
+	})
+	return ts
+}

@@ -8,8 +8,15 @@
 // compiled plan key, so a thundering herd resolves each schedule once —
 // normally by direct synthesis from schedule math, with the goroutine
 // fabric as fallback/oracle — and the shared -trace-cache directory is
-// prewarmed (decode-validated, corrupt files evicted) before the server
-// accepts traffic.
+// prewarmed (decode-validated, corrupt files evicted) in the background;
+// /readyz reports 503 until that pass completes.
+//
+// Observability: every request carries a request ID (X-Request-ID, accepted
+// or generated) and an obs.Trace whose serial spans (compile → execute →
+// render) and parallel per-cell stage aggregates land in /tracez; the
+// process-wide obs registry is served at /metrics in Prometheus text form;
+// and each request emits one JSON access-log line with its stage breakdown
+// and singleflight role.
 package service
 
 import (
@@ -20,18 +27,40 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"binetrees/internal/harness"
+	"binetrees/internal/obs"
 	"binetrees/internal/pool"
 	"binetrees/internal/tracestore"
 )
 
+// Service-level metrics in the process-wide obs registry. Requests are
+// counted per status code at response time (see obsRequests).
+var (
+	obsServeSeconds = obs.Default.Histogram("binebenchd_serve_seconds",
+		"Whole-request latency of /artifact, parse to last byte.", nil)
+	obsBytes = obs.Default.Counter("binebenchd_response_bytes_total",
+		"Artifact bytes written to clients.")
+	obsRenders = obs.Default.Counter("binebenchd_renders_total",
+		"Plan executions performed (flight leaders).")
+	obsJoins = obs.Default.Counter("binebenchd_flight_joins_total",
+		"Requests served by joining an identical in-flight render.")
+	obsFailures = obs.Default.Counter("binebenchd_failures_total",
+		"Requests that surfaced a render error.")
+)
+
+func obsRequests(code int) *obs.Counter {
+	return obs.Default.Counter("binebenchd_requests_total",
+		"Artifact requests answered, by HTTP status code.", "code", strconv.Itoa(code))
+}
+
 // Config tunes a Server.
 type Config struct {
-	// TraceDir is the shared persistent trace store directory, prewarmed at
-	// startup; empty serves from the in-process cache only.
+	// TraceDir is the shared persistent trace store directory, prewarmed in
+	// the background after New; empty serves from the in-process cache only.
 	TraceDir string
 	// Workers bounds the resident Runner (<= 0: one per CPU).
 	Workers int
@@ -42,45 +71,118 @@ type Config struct {
 	// and fails the render on any encoded-byte difference — CI's equivalence
 	// gate, at the cost of a full cold pre-synthesis run.
 	VerifySynth bool
+	// AccessLog, when non-nil, receives one JSON line per /artifact request:
+	// request ID, plan key, singleflight role, status, bytes, duration, and
+	// the request trace's stage breakdown. Writes are serialized.
+	AccessLog io.Writer
 }
 
 // Server is the artifact service: a resident worker pool, the singleflight
-// table, and the request counters behind /statsz.
+// table, the trace log behind /tracez, and the request counters behind
+// /statsz.
 type Server struct {
 	runner  *pool.Runner
 	flights flightGroup
-	prewarm tracestore.PrewarmStats
 	start   time.Time
 	ctx     context.Context // bounds cell submission; cancelled by Close
 	cancel  context.CancelFunc
 
+	// prewarm runs on its own goroutine so the listener binds immediately;
+	// the stats fields are written exactly once before prewarmDone closes,
+	// so any read after the channel is closed is race-free.
+	prewarmDone    chan struct{}
+	prewarm        tracestore.PrewarmStats
+	prewarmErr     error
+	prewarmSeconds float64
+
+	traces    *obs.TraceLog
+	logMu     sync.Mutex
+	accessLog io.Writer
+	reqSeq    atomic.Uint64
+
 	requests, renders, joins, failures, bytesOut atomic.Uint64
 }
 
-// New configures the process-wide trace store and synthesis mode, prewarms
-// the store, and returns a serving-ready Server owning a resident Runner.
+// New configures the process-wide trace store and synthesis mode, kicks off
+// the background prewarm pass, and returns a serving-ready Server owning a
+// resident Runner. The server answers immediately; /readyz turns 200 once
+// the prewarm completes.
 func New(cfg Config) (*Server, error) {
 	harness.SetSynthesis(!cfg.DisableSynth)
 	harness.SetVerifySynth(cfg.VerifySynth)
 	if err := harness.SetTraceStore(cfg.TraceDir); err != nil {
 		return nil, err
 	}
-	ps, err := harness.PrewarmTraceStore()
-	if err != nil {
-		return nil, err
-	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
-		runner:  pool.NewRunner(cfg.Workers),
-		prewarm: ps,
-		start:   time.Now(),
-		ctx:     ctx,
-		cancel:  cancel,
-	}, nil
+	s := &Server{
+		runner:      pool.NewRunner(cfg.Workers),
+		start:       time.Now(),
+		ctx:         ctx,
+		cancel:      cancel,
+		prewarmDone: make(chan struct{}),
+		traces:      obs.NewTraceLog(64),
+		accessLog:   cfg.AccessLog,
+	}
+	go func() {
+		defer close(s.prewarmDone)
+		if prewarmGate != nil {
+			prewarmGate()
+		}
+		t0 := time.Now()
+		s.prewarm, s.prewarmErr = harness.PrewarmTraceStore()
+		s.prewarmSeconds = time.Since(t0).Seconds()
+	}()
+	s.registerGauges()
+	return s, nil
 }
 
-// Prewarm reports the startup validation pass over the trace store.
-func (s *Server) Prewarm() tracestore.PrewarmStats { return s.prewarm }
+// registerGauges exposes the server's live state as scrape-time callback
+// gauges. Re-registration replaces the callbacks, so the newest Server (in
+// tests, the only live one) backs the series.
+func (s *Server) registerGauges() {
+	st := func(f func(pool.RunnerStats) float64) func() float64 {
+		return func() float64 { return f(s.runner.Stats()) }
+	}
+	obs.Default.GaugeFunc("binebenchd_pool_workers",
+		"Resident pool width.", st(func(r pool.RunnerStats) float64 { return float64(r.Workers) }))
+	obs.Default.GaugeFunc("binebenchd_pool_queue_depth",
+		"Cells submitted to the resident pool not yet started.", st(func(r pool.RunnerStats) float64 { return float64(r.QueueDepth) }))
+	obs.Default.GaugeFunc("binebenchd_pool_inflight",
+		"Cells currently executing on the resident pool.", st(func(r pool.RunnerStats) float64 { return float64(r.InFlight) }))
+	obs.Default.GaugeFunc("binebenchd_pool_jobs_done",
+		"Cells completed by the resident pool since start.", st(func(r pool.RunnerStats) float64 { return float64(r.JobsDone) }))
+	obs.Default.GaugeFunc("binebenchd_pool_wait_seconds",
+		"Cumulative submit-to-start wait across pool cells.", st(func(r pool.RunnerStats) float64 { return r.WaitSeconds }))
+	obs.Default.GaugeFunc("binebenchd_pool_busy_seconds",
+		"Cumulative execution time across pool cells.", st(func(r pool.RunnerStats) float64 { return r.BusySeconds }))
+	obs.Default.GaugeFunc("binebenchd_ready",
+		"1 once the trace-store prewarm has completed.", func() float64 {
+			if s.Ready() {
+				return 1
+			}
+			return 0
+		})
+	obs.Default.GaugeFunc("binebenchd_uptime_seconds",
+		"Seconds since the server was constructed.", func() float64 { return time.Since(s.start).Seconds() })
+}
+
+// Ready reports whether the startup prewarm pass has completed — the /readyz
+// condition.
+func (s *Server) Ready() bool {
+	select {
+	case <-s.prewarmDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// Prewarm blocks until the startup validation pass over the trace store has
+// completed and reports it.
+func (s *Server) Prewarm() tracestore.PrewarmStats {
+	<-s.prewarmDone
+	return s.prewarm
+}
 
 // Close stops new cell submission, drains the in-flight renders (which run
 // detached from their requests and may still be submitting cells), and only
@@ -88,6 +190,7 @@ func (s *Server) Prewarm() tracestore.PrewarmStats { return s.prewarm }
 // would panic its next submission.
 func (s *Server) Close() {
 	s.cancel()
+	<-s.prewarmDone
 	s.flights.wait()
 	s.runner.Close()
 }
@@ -95,8 +198,13 @@ func (s *Server) Close() {
 // Handler returns the service's HTTP mux:
 //
 //	GET /artifact/{experiment}?systems=...&full=...  the artifact, streamed
-//	GET /healthz                                     liveness
+//	GET /healthz                                     liveness (always 200)
+//	GET /readyz                                      readiness: 503 until the
+//	                                                 trace-store prewarm ends
 //	GET /statsz                                      counters as JSON
+//	GET /metrics                                     Prometheus text format
+//	GET /tracez                                      recent + slowest request
+//	                                                 timelines as JSON
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /artifact/{experiment}", s.artifact)
@@ -104,7 +212,10 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
+	mux.HandleFunc("GET /readyz", s.readyz)
 	mux.HandleFunc("GET /statsz", s.statsz)
+	mux.Handle("GET /metrics", obs.Default.Handler())
+	mux.HandleFunc("GET /tracez", s.tracez)
 	return mux
 }
 
@@ -112,6 +223,51 @@ func (s *Server) Handler() http.Handler {
 // Test-only: it holds a render open until a herd of identical requests has
 // piled onto the flight, making the singleflight assertions deterministic.
 var renderGate func()
+
+// prewarmGate, when non-nil, blocks the background prewarm pass before it
+// starts. Test-only: it holds readiness closed so /readyz's 503 phase is
+// observable deterministically.
+var prewarmGate func()
+
+// requestID returns the caller-supplied X-Request-ID (bounded, so a hostile
+// header cannot bloat logs) or generates a process-unique one.
+func (s *Server) requestID(r *http.Request) string {
+	if id := strings.TrimSpace(r.Header.Get("X-Request-ID")); id != "" {
+		if len(id) > 64 {
+			id = id[:64]
+		}
+		return id
+	}
+	return "req-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+}
+
+// accessEntry is one JSON access-log line.
+type accessEntry struct {
+	Time      time.Time         `json:"time"`
+	RequestID string            `json:"request_id"`
+	Path      string            `json:"path"`
+	PlanKey   string            `json:"plan_key,omitempty"`
+	Role      string            `json:"role,omitempty"` // leader | follower
+	Status    int               `json:"status"`
+	Bytes     int64             `json:"bytes"`
+	DurMS     float64           `json:"dur_ms"`
+	Error     string            `json:"error,omitempty"`
+	Trace     *obs.TraceSummary `json:"trace,omitempty"`
+}
+
+func (s *Server) logAccess(e accessEntry) {
+	if s.accessLog == nil {
+		return
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	s.logMu.Lock()
+	s.accessLog.Write(buf)
+	s.logMu.Unlock()
+}
 
 // parseRequest validates an artifact request against the same rules as the
 // binebench flags: any experiment name (or "all"), full as a boolean, and
@@ -147,48 +303,123 @@ func parseRequest(r *http.Request) (name string, full bool, systems []string, co
 }
 
 func (s *Server) artifact(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	reqID := s.requestID(r)
+	w.Header().Set("X-Request-ID", reqID)
 	name, full, systems, code, err := parseRequest(r)
 	if err != nil {
 		http.Error(w, err.Error(), code)
+		obsRequests(code).Inc()
+		s.logAccess(accessEntry{Time: t0.UTC(), RequestID: reqID, Path: r.URL.Path,
+			Status: code, DurMS: float64(time.Since(t0).Microseconds()) / 1e3, Error: err.Error()})
 		return
 	}
 	s.requests.Add(1)
 	opts := harness.Options{Quick: !full, Systems: systems}
 	key := fmt.Sprintf("%s|full=%v|systems=%s", name, full, strings.Join(systems, ","))
-	b, joined := s.flights.do(key, func(fw io.Writer) error {
+	// The flight trace belongs to the leader: its render goroutine runs the
+	// serial compile → execute → render skeleton, so the span timeline sums
+	// to the flight's wall time. Followers reuse the leader's trace in their
+	// access-log lines; a follower's own trace is simply discarded.
+	reqTrace := obs.NewTrace(reqID, key)
+	b, joined := s.flights.do(key, reqTrace, func(fw io.Writer) error {
 		s.renders.Add(1)
+		obsRenders.Inc()
+		ctx := obs.WithTrace(s.ctx, reqTrace)
+		defer func() {
+			reqTrace.Finish()
+			s.traces.Record(reqTrace)
+		}()
 		if renderGate != nil {
 			renderGate()
 		}
 		if name == "all" {
-			return harness.RunAllOn(s.ctx, fw, s.runner, opts)
+			return harness.RunAllOn(ctx, fw, s.runner, opts)
 		}
+		_, endCompile := obs.StartSpan(ctx, obs.StageCompile)
 		e, err := harness.CompileExperiment(name, opts)
+		endCompile()
 		if err != nil {
 			return err
 		}
-		return e.Run(s.ctx, fw, s.runner, nil)
+		return e.Run(ctx, fw, s.runner, nil)
 	})
+	role := "leader"
 	if joined {
 		s.joins.Add(1)
+		obsJoins.Inc()
+		role = "follower"
 	}
+	status := http.StatusOK
+	var served int64
+	var serveErr string
+	defer func() {
+		d := time.Since(t0)
+		obs.ObserveStage(obs.StageServe, d)
+		obsServeSeconds.Observe(d.Seconds())
+		obsRequests(status).Inc()
+		sum := b.trace.Summary()
+		s.logAccess(accessEntry{Time: t0.UTC(), RequestID: reqID, Path: r.URL.Path,
+			PlanKey: key, Role: role, Status: status, Bytes: served,
+			DurMS: float64(d.Microseconds()) / 1e3, Error: serveErr, Trace: &sum})
+	}()
 	if err := b.waitReady(r.Context()); err != nil {
 		if r.Context().Err() != nil {
-			return // client gave up before the first byte
+			status = 499 // client gave up before the first byte
+			return
 		}
 		s.failures.Add(1)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		obsFailures.Inc()
+		status = http.StatusInternalServerError
+		serveErr = err.Error()
+		http.Error(w, err.Error(), status)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	n, err := b.streamTo(r.Context(), w)
+	served = n
 	s.bytesOut.Add(uint64(n))
+	obsBytes.Add(uint64(n))
 	if err != nil && r.Context().Err() == nil {
 		// The render failed mid-stream: the 200 header is out, so abort the
 		// connection instead of passing a truncated body off as complete.
+		// The deferred access-log line still runs while the panic unwinds.
 		s.failures.Add(1)
+		obsFailures.Inc()
+		serveErr = err.Error()
 		panic(http.ErrAbortHandler)
 	}
+	if r.Context().Err() != nil && err != nil {
+		status = 499
+		serveErr = err.Error()
+	}
+}
+
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "prewarming trace store\n")
+		return
+	}
+	fmt.Fprintf(w, "ready\n%s\nprewarm took %.3fs\n", s.prewarm, s.prewarmSeconds)
+	if s.prewarmErr != nil {
+		// The store is tolerant by design: a failed prewarm degrades to
+		// request-time misses, so the server is ready regardless — but the
+		// error is worth surfacing.
+		fmt.Fprintf(w, "prewarm error: %v\n", s.prewarmErr)
+	}
+}
+
+func (s *Server) tracez(w http.ResponseWriter, r *http.Request) {
+	recent, slowest := s.traces.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Recent  []obs.TraceSummary `json:"recent"`
+		Slowest []obs.TraceSummary `json:"slowest"`
+	}{recent, slowest})
 }
 
 // Stats is the /statsz document.
@@ -197,6 +428,10 @@ type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Workers is the resident pool width shared by all requests.
 	Workers int `json:"workers"`
+	// Ready reports whether the startup prewarm has completed (the /readyz
+	// condition); PrewarmSeconds is how long it took once done.
+	Ready          bool    `json:"ready"`
+	PrewarmSeconds float64 `json:"prewarm_seconds,omitempty"`
 	// Experiments lists the valid /artifact/{experiment} names.
 	Experiments []string `json:"experiments"`
 	// Requests counts accepted artifact requests; Renders the plan
@@ -209,15 +444,20 @@ type Stats struct {
 	Failures   uint64 `json:"failures"`
 	// BytesServed totals artifact bytes written to clients.
 	BytesServed uint64 `json:"bytes_served"`
-	// Prewarm reports the startup store validation; Cache the live trace
-	// cache counters (including the resident columnar footprint).
+	// Pool is the resident Runner's live job-flow view.
+	Pool pool.RunnerStats `json:"pool"`
+	// Prewarm reports the startup store validation (zero until Ready); Cache
+	// the live trace cache counters (including the resident columnar
+	// footprint).
 	Prewarm tracestore.PrewarmStats `json:"prewarm"`
 	Cache   harness.CacheStats      `json:"cache"`
 }
 
-// Snapshot captures the live counters.
+// Snapshot captures the live counters. The prewarm fields are read only
+// after prewarmDone closes, so a snapshot taken mid-prewarm reports them as
+// zero instead of racing the prewarm goroutine's writes.
 func (s *Server) Snapshot() Stats {
-	return Stats{
+	st := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.runner.Workers(),
 		Experiments:   harness.ExperimentNames(),
@@ -226,9 +466,17 @@ func (s *Server) Snapshot() Stats {
 		DedupJoins:    s.joins.Load(),
 		Failures:      s.failures.Load(),
 		BytesServed:   s.bytesOut.Load(),
-		Prewarm:       s.prewarm,
+		Pool:          s.runner.Stats(),
 		Cache:         harness.TraceCacheStats(),
 	}
+	select {
+	case <-s.prewarmDone:
+		st.Ready = true
+		st.Prewarm = s.prewarm
+		st.PrewarmSeconds = s.prewarmSeconds
+	default:
+	}
+	return st
 }
 
 func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {

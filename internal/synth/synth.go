@@ -18,14 +18,34 @@ package synth
 
 import (
 	"fmt"
+	"time"
 
 	"binetrees/internal/coll"
 	"binetrees/internal/fabric"
+	"binetrees/internal/obs"
 )
+
+// Synthesis metrics in the process-wide obs registry: how often the cold
+// path runs, how long a synthesis takes, and how much trace volume it emits.
+var (
+	obsTraces = obs.Default.Counter("binebench_synth_traces_total",
+		"Traces emitted by schedule synthesis.")
+	obsRecords = obs.Default.Counter("binebench_synth_trace_records_total",
+		"Send records across all synthesized traces.")
+	obsSeconds = obs.Default.Histogram("binebench_synth_seconds",
+		"Wall time of one trace synthesis (all ranks, merge included).", nil)
+)
+
+func observe(tr *fabric.Trace, start time.Time) {
+	obsSeconds.ObserveSince(start)
+	obsTraces.Inc()
+	obsRecords.Add(uint64(tr.NumRecords()))
+}
 
 // Schedule emits the trace of one registry schedule by walking every rank
 // in ascending order.
 func Schedule(s coll.Synthesizer) (*fabric.Trace, error) {
+	start := time.Now()
 	p := s.Ranks()
 	b := fabric.NewTraceBuilder(p)
 	for rank := 0; rank < p; rank++ {
@@ -33,7 +53,9 @@ func Schedule(s coll.Synthesizer) (*fabric.Trace, error) {
 			return nil, fmt.Errorf("synth: rank %d: %w", rank, err)
 		}
 	}
-	return b.Trace(), nil
+	tr := b.Trace()
+	observe(tr, start)
+	return tr, nil
 }
 
 // Run is the ad-hoc form of Schedule for schedule bodies outside the
@@ -41,11 +63,14 @@ func Schedule(s coll.Synthesizer) (*fabric.Trace, error) {
 // the same per-rank body a fabric.Run recording would execute, driven here
 // once per rank, serially, against pattern endpoints.
 func Run(p int, fn func(c fabric.Comm) error) (*fabric.Trace, error) {
+	start := time.Now()
 	b := fabric.NewTraceBuilder(p)
 	for rank := 0; rank < p; rank++ {
 		if err := fn(b.Comm(rank)); err != nil {
 			return nil, fmt.Errorf("synth: rank %d: %w", rank, err)
 		}
 	}
-	return b.Trace(), nil
+	tr := b.Trace()
+	observe(tr, start)
+	return tr, nil
 }

@@ -21,8 +21,32 @@ import (
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"binetrees/internal/fabric"
+	"binetrees/internal/obs"
+)
+
+// Store-tier metrics in the process-wide obs registry; the lifetime Stats
+// counters below remain the /statsz source, these add bytes and latency
+// under the /metrics vocabulary.
+var (
+	obsLoadHits = obs.Default.Counter("binebench_tracestore_loads_total",
+		"Trace store lookups, by result.", "result", "hit")
+	obsLoadMisses = obs.Default.Counter("binebench_tracestore_loads_total",
+		"Trace store lookups, by result.", "result", "miss")
+	obsLoadSeconds = obs.Default.Histogram("binebench_tracestore_load_seconds",
+		"Trace store load latency (open, read, decode).", nil)
+	obsLoadBytes = obs.Default.Counter("binebench_tracestore_load_bytes_total",
+		"Encoded bytes read from the trace store on hits.")
+	obsSaves = obs.Default.Counter("binebench_tracestore_saves_total",
+		"Traces written through to the store.")
+	obsSaveSeconds = obs.Default.Histogram("binebench_tracestore_save_seconds",
+		"Trace store save latency (encode, chmod, rename).", nil)
+	obsSaveBytes = obs.Default.Counter("binebench_tracestore_save_bytes_total",
+		"Encoded bytes written to the trace store.")
+	obsEvictions = obs.Default.Counter("binebench_tracestore_corrupt_evictions_total",
+		"Store files that failed to decode and were removed.")
 )
 
 // Key is the schedule identity a stored trace is addressed by. Fields are
@@ -122,9 +146,11 @@ func (s *Store) Load(k Key) (tr *fabric.Trace, ok bool) {
 	if !s.Enabled() {
 		return nil, false
 	}
+	defer obsLoadSeconds.ObserveSince(time.Now())
 	f, err := os.Open(s.path(k))
 	if err != nil {
 		s.misses.Add(1)
+		obsLoadMisses.Inc()
 		return nil, false
 	}
 	fi, statErr := statFile(f)
@@ -148,10 +174,14 @@ func (s *Store) Load(k Key) (tr *fabric.Trace, ok bool) {
 		}
 		s.evict(s.path(k), fi)
 		s.corrupt.Add(1)
+		obsEvictions.Inc()
 		s.misses.Add(1)
+		obsLoadMisses.Inc()
 		return nil, false
 	}
 	s.hits.Add(1)
+	obsLoadHits.Inc()
+	obsLoadBytes.Add(uint64(len(raw)))
 	return tr, true
 }
 
@@ -188,11 +218,13 @@ func (s *Store) Save(k Key, tr *fabric.Trace, origin Origin) error {
 	if !s.Enabled() {
 		return nil
 	}
+	defer obsSaveSeconds.ObserveSince(time.Now())
 	tmp, err := os.CreateTemp(s.dir, "."+k.addr()+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("tracestore: %w", err)
 	}
-	if err := fabric.EncodeTrace(tmp, tr); err != nil {
+	cw := &countingWriter{w: tmp}
+	if err := fabric.EncodeTrace(cw, tr); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("tracestore: encoding %s: %w", k.addr(), err)
@@ -217,7 +249,22 @@ func (s *Store) Save(k Key, tr *fabric.Trace, origin Origin) error {
 		_ = os.WriteFile(originPath(s.path(k)), []byte(origin), 0o644)
 	}
 	s.saves.Add(1)
+	obsSaves.Inc()
+	obsSaveBytes.Add(uint64(cw.n))
 	return nil
+}
+
+// countingWriter counts the encoded bytes flowing into a Save's temp file
+// so the byte-volume counter reports real I/O, not an extra encode pass.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Origin reports how the stored trace for the key was produced:
@@ -302,6 +349,7 @@ func (s *Store) Prewarm() (PrewarmStats, error) {
 			}
 			s.evict(path, fi)
 			s.corrupt.Add(1)
+			obsEvictions.Inc()
 			ps.Corrupt++
 			continue
 		}
