@@ -95,8 +95,11 @@ func main() {
 	}
 	if *traceCache != "" {
 		// The prewarm pass runs in the background; log its outcome when it
-		// lands without holding the listener back. /readyz gates on it.
-		go log.Printf("binebenchd: %v", srv.Prewarm())
+		// lands without holding the listener back. /readyz gates on it. The
+		// blocking Prewarm() call must sit inside the goroutine body: a bare
+		// `go log.Printf(..., srv.Prewarm())` would evaluate the argument in
+		// this goroutine and stall the listener for the whole prewarm.
+		go func() { log.Printf("binebenchd: %v", srv.Prewarm()) }()
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

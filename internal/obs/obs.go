@@ -162,13 +162,24 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 // GaugeFunc registers a gauge whose value is read from fn at scrape time —
 // the form used for values another subsystem already tracks (queue depth on
 // the resident pool, uptime, readiness). Re-registering the same (name,
-// labels) replaces the callback.
-func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+// labels) replaces the callback. The returned func unregisters the callback
+// so an owner being shut down stops getting invoked (and stops being pinned)
+// by scrapes; it is a no-op once a later registration has replaced this one,
+// so a stale unregister can never drop a successor's callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) func() {
 	f := r.family(name, help, gaugeType, nil)
 	ls := labelString(labels)
+	m := &gaugeFunc{fn: fn}
 	f.mu.Lock()
-	f.metrics[ls] = gaugeFunc(fn)
+	f.metrics[ls] = m
 	f.mu.Unlock()
+	return func() {
+		f.mu.Lock()
+		if f.metrics[ls] == any(m) {
+			delete(f.metrics, ls)
+		}
+		f.mu.Unlock()
+	}
 }
 
 // Histogram returns the fixed-bucket histogram for (name, labels). buckets
@@ -215,7 +226,10 @@ func (g *Gauge) Add(delta float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-type gaugeFunc func() float64
+// gaugeFunc is a pointer-identified callback gauge entry: the pointer
+// identity lets GaugeFunc's unregister handle tell "still mine" from
+// "replaced by a later registration".
+type gaugeFunc struct{ fn func() float64 }
 
 // Histogram is a fixed-bucket latency histogram: per-bucket counts, a total
 // count and a sum, all atomics. Quantiles are estimated by linear
@@ -354,8 +368,8 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 				s.Value = float64(m.Value())
 			case *Gauge:
 				s.Value = m.Value()
-			case gaugeFunc:
-				s.Value = m()
+			case *gaugeFunc:
+				s.Value = m.fn()
 			case *Histogram:
 				sum := m.Summary()
 				s.Histogram = &sum

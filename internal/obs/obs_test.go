@@ -163,6 +163,29 @@ func TestGaugeFunc(t *testing.T) {
 	}
 }
 
+// TestGaugeFuncUnregister pins the unregister handle: it removes the
+// callback from the exposition, and a stale handle — one whose registration
+// a later GaugeFunc already replaced — must not drop the successor.
+func TestGaugeFuncUnregister(t *testing.T) {
+	r := NewRegistry()
+	unreg := r.GaugeFunc("fn_gauge", "", func() float64 { return 1 })
+	unreg()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if strings.Contains(b.String(), "fn_gauge") {
+		t.Errorf("unregistered callback still exposed:\n%s", b.String())
+	}
+
+	stale := r.GaugeFunc("fn_gauge", "", func() float64 { return 1 })
+	r.GaugeFunc("fn_gauge", "", func() float64 { return 2 })
+	stale() // replaced registration: must be a no-op
+	b.Reset()
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "fn_gauge 2\n") {
+		t.Errorf("stale unregister dropped the successor callback:\n%s", b.String())
+	}
+}
+
 // TestWriteJSON pins the -obs-json dump: valid JSON carrying the same
 // snapshot, with +Inf bounds clamped to stay encodable.
 func TestWriteJSON(t *testing.T) {

@@ -299,6 +299,44 @@ func TestAccessLog(t *testing.T) {
 	}
 }
 
+// TestCloseUnregistersGauges pins the lifecycle of the scrape-time callback
+// gauges: Close drops them from the process-wide registry, so a closed
+// Server (and its Runner) is neither pinned by nor invoked from later
+// scrapes — and a stale Close cannot drop a newer server's callbacks.
+func TestCloseUnregistersGauges(t *testing.T) {
+	exposed := func() string {
+		var b strings.Builder
+		obs.Default.WritePrometheus(&b)
+		return b.String()
+	}
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exposed(), "binebenchd_pool_workers") {
+		t.Fatal("pool gauges absent while the server is live")
+	}
+	srv.Close()
+	if body := exposed(); strings.Contains(body, "binebenchd_pool_workers") ||
+		strings.Contains(body, "binebenchd_ready") {
+		t.Fatalf("closed server's gauges still exposed:\n%s", body)
+	}
+
+	old, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := New(Config{}) // replaces old's callbacks
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer next.Close()
+	old.Close() // stale: must not drop next's registrations
+	if !strings.Contains(exposed(), "binebenchd_pool_workers") {
+		t.Fatal("closing a superseded server dropped the live server's gauges")
+	}
+}
+
 func findSpan(spans []obs.SpanSummary, name string) (obs.SpanSummary, bool) {
 	for _, sp := range spans {
 		if sp.Name == name {

@@ -95,10 +95,11 @@ type Server struct {
 	prewarmErr     error
 	prewarmSeconds float64
 
-	traces    *obs.TraceLog
-	logMu     sync.Mutex
-	accessLog io.Writer
-	reqSeq    atomic.Uint64
+	traces     *obs.TraceLog
+	logMu      sync.Mutex
+	accessLog  io.Writer
+	reqSeq     atomic.Uint64
+	unregister []func() // drops this server's obs.Default gauge callbacks on Close
 
 	requests, renders, joins, failures, bytesOut atomic.Uint64
 }
@@ -137,32 +138,37 @@ func New(cfg Config) (*Server, error) {
 }
 
 // registerGauges exposes the server's live state as scrape-time callback
-// gauges. Re-registration replaces the callbacks, so the newest Server (in
-// tests, the only live one) backs the series.
+// gauges. Re-registration replaces the callbacks, so the newest Server backs
+// the series; Close unregisters this server's callbacks (a no-op for any a
+// later server has already replaced), so a closed Server and its Runner are
+// not pinned by — or invoked from — subsequent scrapes.
 func (s *Server) registerGauges() {
 	st := func(f func(pool.RunnerStats) float64) func() float64 {
 		return func() float64 { return f(s.runner.Stats()) }
 	}
-	obs.Default.GaugeFunc("binebenchd_pool_workers",
+	gauge := func(name, help string, fn func() float64) {
+		s.unregister = append(s.unregister, obs.Default.GaugeFunc(name, help, fn))
+	}
+	gauge("binebenchd_pool_workers",
 		"Resident pool width.", st(func(r pool.RunnerStats) float64 { return float64(r.Workers) }))
-	obs.Default.GaugeFunc("binebenchd_pool_queue_depth",
+	gauge("binebenchd_pool_queue_depth",
 		"Cells submitted to the resident pool not yet started.", st(func(r pool.RunnerStats) float64 { return float64(r.QueueDepth) }))
-	obs.Default.GaugeFunc("binebenchd_pool_inflight",
+	gauge("binebenchd_pool_inflight",
 		"Cells currently executing on the resident pool.", st(func(r pool.RunnerStats) float64 { return float64(r.InFlight) }))
-	obs.Default.GaugeFunc("binebenchd_pool_jobs_done",
+	gauge("binebenchd_pool_jobs_done",
 		"Cells completed by the resident pool since start.", st(func(r pool.RunnerStats) float64 { return float64(r.JobsDone) }))
-	obs.Default.GaugeFunc("binebenchd_pool_wait_seconds",
+	gauge("binebenchd_pool_wait_seconds",
 		"Cumulative submit-to-start wait across pool cells.", st(func(r pool.RunnerStats) float64 { return r.WaitSeconds }))
-	obs.Default.GaugeFunc("binebenchd_pool_busy_seconds",
+	gauge("binebenchd_pool_busy_seconds",
 		"Cumulative execution time across pool cells.", st(func(r pool.RunnerStats) float64 { return r.BusySeconds }))
-	obs.Default.GaugeFunc("binebenchd_ready",
+	gauge("binebenchd_ready",
 		"1 once the trace-store prewarm has completed.", func() float64 {
 			if s.Ready() {
 				return 1
 			}
 			return 0
 		})
-	obs.Default.GaugeFunc("binebenchd_uptime_seconds",
+	gauge("binebenchd_uptime_seconds",
 		"Seconds since the server was constructed.", func() float64 { return time.Since(s.start).Seconds() })
 }
 
@@ -193,6 +199,9 @@ func (s *Server) Close() {
 	<-s.prewarmDone
 	s.flights.wait()
 	s.runner.Close()
+	for _, unreg := range s.unregister {
+		unreg()
+	}
 }
 
 // Handler returns the service's HTTP mux:
@@ -383,9 +392,12 @@ func (s *Server) artifact(w http.ResponseWriter, r *http.Request) {
 	if err != nil && r.Context().Err() == nil {
 		// The render failed mid-stream: the 200 header is out, so abort the
 		// connection instead of passing a truncated body off as complete.
-		// The deferred access-log line still runs while the panic unwinds.
+		// The deferred access-log line still runs while the panic unwinds;
+		// record the failure status first so requests_total and the log line
+		// count this as a 500, not the 200 the wire happened to see.
 		s.failures.Add(1)
 		obsFailures.Inc()
+		status = http.StatusInternalServerError
 		serveErr = err.Error()
 		panic(http.ErrAbortHandler)
 	}
