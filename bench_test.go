@@ -1,6 +1,7 @@
 package binetrees
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -130,7 +131,7 @@ func BenchmarkCoreConstruction(b *testing.B) {
 // regeneration of that artifact (quick sweep; `binebench -full` runs the
 // paper-scale version).
 
-func benchArtifact(b *testing.B, run func(w io.Writer, opts harness.Options) error) {
+func benchArtifact(b *testing.B, run func(ctx context.Context, w io.Writer, opts harness.Options) error) {
 	b.Helper()
 	opts := harness.Options{Quick: true}
 	for i := 0; i < b.N; i++ {
@@ -138,18 +139,18 @@ func benchArtifact(b *testing.B, run func(w io.Writer, opts harness.Options) err
 		// benchmark, regardless of run order — records its schedules from
 		// scratch, as the serial engine did.
 		harness.ResetTraceCache()
-		if err := run(io.Discard, opts); err != nil {
+		if err := run(context.Background(), io.Discard, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkFig01Broadcast(b *testing.B) {
-	benchArtifact(b, func(w io.Writer, _ harness.Options) error { return harness.Fig1(w) })
+	benchArtifact(b, func(ctx context.Context, w io.Writer, _ harness.Options) error { return harness.Fig1(ctx, w) })
 }
 
 func BenchmarkEq2Distances(b *testing.B) {
-	benchArtifact(b, func(w io.Writer, _ harness.Options) error { return harness.Eq2(w) })
+	benchArtifact(b, func(ctx context.Context, w io.Writer, _ harness.Options) error { return harness.Eq2(ctx, w) })
 }
 
 func BenchmarkFig05AllocationStudy(b *testing.B) {
@@ -157,50 +158,50 @@ func BenchmarkFig05AllocationStudy(b *testing.B) {
 }
 
 func BenchmarkTable3LUMI(b *testing.B) {
-	benchArtifact(b, func(w io.Writer, o harness.Options) error {
-		return harness.TableBinomial(w, harness.LUMI(), o)
+	benchArtifact(b, func(ctx context.Context, w io.Writer, o harness.Options) error {
+		return harness.TableBinomial(ctx, w, harness.LUMI(), o)
 	})
 }
 
 func BenchmarkFig09aHeatmapLUMI(b *testing.B) {
-	benchArtifact(b, func(w io.Writer, o harness.Options) error {
-		return harness.HeatmapAllreduce(w, harness.LUMI(), o)
+	benchArtifact(b, func(ctx context.Context, w io.Writer, o harness.Options) error {
+		return harness.HeatmapAllreduce(ctx, w, harness.LUMI(), o)
 	})
 }
 
 func BenchmarkFig09bBoxplotsLUMI(b *testing.B) {
-	benchArtifact(b, func(w io.Writer, o harness.Options) error {
-		return harness.Boxplots(w, harness.LUMI(), o)
+	benchArtifact(b, func(ctx context.Context, w io.Writer, o harness.Options) error {
+		return harness.Boxplots(ctx, w, harness.LUMI(), o)
 	})
 }
 
 func BenchmarkTable4Leonardo(b *testing.B) {
-	benchArtifact(b, func(w io.Writer, o harness.Options) error {
-		return harness.TableBinomial(w, harness.Leonardo(), o)
+	benchArtifact(b, func(ctx context.Context, w io.Writer, o harness.Options) error {
+		return harness.TableBinomial(ctx, w, harness.Leonardo(), o)
 	})
 }
 
 func BenchmarkFig10aHeatmapLeonardo(b *testing.B) {
-	benchArtifact(b, func(w io.Writer, o harness.Options) error {
-		return harness.HeatmapAllreduce(w, harness.Leonardo(), o)
+	benchArtifact(b, func(ctx context.Context, w io.Writer, o harness.Options) error {
+		return harness.HeatmapAllreduce(ctx, w, harness.Leonardo(), o)
 	})
 }
 
 func BenchmarkFig10bBoxplotsLeonardo(b *testing.B) {
-	benchArtifact(b, func(w io.Writer, o harness.Options) error {
-		return harness.Boxplots(w, harness.Leonardo(), o)
+	benchArtifact(b, func(ctx context.Context, w io.Writer, o harness.Options) error {
+		return harness.Boxplots(ctx, w, harness.Leonardo(), o)
 	})
 }
 
 func BenchmarkTable5MareNostrum(b *testing.B) {
-	benchArtifact(b, func(w io.Writer, o harness.Options) error {
-		return harness.TableBinomial(w, harness.MareNostrum(), o)
+	benchArtifact(b, func(ctx context.Context, w io.Writer, o harness.Options) error {
+		return harness.TableBinomial(ctx, w, harness.MareNostrum(), o)
 	})
 }
 
 func BenchmarkFig11aBoxplotsMareNostrum(b *testing.B) {
-	benchArtifact(b, func(w io.Writer, o harness.Options) error {
-		return harness.Boxplots(w, harness.MareNostrum(), o)
+	benchArtifact(b, func(ctx context.Context, w io.Writer, o harness.Options) error {
+		return harness.Boxplots(ctx, w, harness.MareNostrum(), o)
 	})
 }
 
@@ -217,7 +218,7 @@ func BenchmarkHierarchicalAllreduce(b *testing.B) {
 }
 
 func BenchmarkAppDTorus(b *testing.B) {
-	benchArtifact(b, func(w io.Writer, _ harness.Options) error { return harness.AppD(w) })
+	benchArtifact(b, func(ctx context.Context, w io.Writer, _ harness.Options) error { return harness.AppD(ctx, w) })
 }
 
 // BenchmarkSweepParallel tracks the worker-pool speedup of the sweep
@@ -230,7 +231,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 			opts := harness.Options{Quick: true, Workers: workers}
 			for i := 0; i < b.N; i++ {
 				harness.ResetTraceCache()
-				if err := harness.HeatmapAllreduce(io.Discard, harness.LUMI(), opts); err != nil {
+				if err := harness.HeatmapAllreduce(context.Background(), io.Discard, harness.LUMI(), opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -246,7 +247,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 // iteration so the store tier is what's measured.
 func BenchmarkSweepStore(b *testing.B) {
 	sweep := func(b *testing.B) {
-		if err := harness.HeatmapAllreduce(io.Discard, harness.LUMI(), harness.Options{Quick: true}); err != nil {
+		if err := harness.HeatmapAllreduce(context.Background(), io.Discard, harness.LUMI(), harness.Options{Quick: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -50,10 +50,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
 
@@ -90,7 +92,12 @@ func main() {
 	if *progress {
 		opts.Progress = progressPrinter(os.Stderr)
 	}
-	err := run(os.Stdout, *experiment, opts)
+	// The process-lifetime context, cancelled on interrupt: Ctrl-C stops
+	// dispatching cells (in-flight ones complete, keeping the shared caches
+	// consistent) instead of killing the run mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	err := run(ctx, os.Stdout, *experiment, opts)
 	if *progress {
 		fmt.Fprintln(os.Stderr)
 	}
@@ -202,12 +209,12 @@ func progressPrinter(w io.Writer) harness.ProgressFunc {
 	}
 }
 
-func run(w io.Writer, experiment string, opts harness.Options) error {
+func run(ctx context.Context, w io.Writer, experiment string, opts harness.Options) error {
 	if experiment == "all" {
-		return harness.RunAll(w, opts)
+		return harness.RunAll(ctx, w, opts)
 	}
 	// Single experiments compile and render through the same plan path the
 	// binebenchd artifact service uses, so CLI files and served responses
 	// are byte-identical by construction.
-	return harness.RunExperiment(w, experiment, opts)
+	return harness.RunExperiment(ctx, w, experiment, opts)
 }

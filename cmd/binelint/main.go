@@ -1,0 +1,15 @@
+// Binelint runs the repo's analyzer suite (internal/lint) over the module
+// and exits non-zero on findings. CI runs it next to go vet:
+//
+//	go run ./cmd/binelint ./...
+package main
+
+import (
+	"os"
+
+	"binetrees/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

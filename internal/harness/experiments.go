@@ -26,9 +26,9 @@ import (
 // broadcast over eight nodes on a 2:1 oversubscribed fat tree with two
 // nodes per leaf, for the distance-doubling (Open MPI), distance-halving
 // (MPICH) and Bine trees.
-func Fig1(w io.Writer) error {
+func Fig1(ctx context.Context, w io.Writer) error {
 	p, err := planFig1()
-	return runPlan(w, p, err, Options{})
+	return runPlan(ctx, w, p, err, Options{})
 }
 
 func planFig1() (*plan, error) {
@@ -77,9 +77,9 @@ func planFig1() (*plan, error) {
 
 // Eq2 tabulates the per-step modular distances of Bine vs binomial
 // schedules and their ratio, illustrating the 2/3 bound of Sec. 2.4.1.
-func Eq2(w io.Writer) error {
+func Eq2(ctx context.Context, w io.Writer) error {
 	p, err := planEq2()
-	return runPlan(w, p, err, Options{})
+	return runPlan(ctx, w, p, err, Options{})
 }
 
 func planEq2() (*plan, error) {
@@ -104,9 +104,9 @@ func planEq2() (*plan, error) {
 // distribution of global-traffic reduction of a Bine allreduce over the
 // binomial allreduce with the same distance ordering, bucketed by node
 // count.
-func Fig5(w io.Writer, opts Options) error {
+func Fig5(ctx context.Context, w io.Writer, opts Options) error {
 	p, err := planFig5(opts)
-	return runPlan(w, p, err, opts)
+	return runPlan(ctx, w, p, err, opts)
 }
 
 func planFig5(opts Options) (*plan, error) {
@@ -223,9 +223,9 @@ func planFig5(opts Options) (*plan, error) {
 // (Tables 3, 4 and 5): for every collective, the fraction of
 // configurations won/lost against the best binomial baseline, the
 // average/max gain and drop, and the average/max global-traffic reduction.
-func TableBinomial(w io.Writer, sys System, opts Options) error {
+func TableBinomial(ctx context.Context, w io.Writer, sys System, opts Options) error {
 	p, err := planTableBinomial(sys, opts)
-	return runPlan(w, p, err, opts)
+	return runPlan(ctx, w, p, err, opts)
 }
 
 func planTableBinomial(sys System, opts Options) (*plan, error) {
@@ -307,9 +307,9 @@ func familyLetter(res *sweepResult, name string) string {
 // HeatmapAllreduce reproduces Figs. 9a/10a: for every (node count, vector
 // size) cell of the allreduce sweep, either the Bine speedup over the best
 // baseline (when Bine wins) or the letter of the winning baseline.
-func HeatmapAllreduce(w io.Writer, sys System, opts Options) error {
+func HeatmapAllreduce(ctx context.Context, w io.Writer, sys System, opts Options) error {
 	p, err := planHeatmapAllreduce(sys, opts)
-	return runPlan(w, p, err, opts)
+	return runPlan(ctx, w, p, err, opts)
 }
 
 func planHeatmapAllreduce(sys System, opts Options) (*plan, error) {
@@ -362,9 +362,9 @@ func planHeatmapAllreduce(sys System, opts Options) (*plan, error) {
 // Boxplots reproduces Figs. 9b/10b/11a: for every collective, the
 // distribution of Bine's improvement over the best baseline in the
 // configurations where Bine wins, plus the win percentage.
-func Boxplots(w io.Writer, sys System, opts Options) error {
+func Boxplots(ctx context.Context, w io.Writer, sys System, opts Options) error {
 	p, err := planBoxplots(sys, opts)
-	return runPlan(w, p, err, opts)
+	return runPlan(ctx, w, p, err, opts)
 }
 
 func planBoxplots(sys System, opts Options) (*plan, error) {
@@ -417,9 +417,9 @@ func planBoxplots(sys System, opts Options) (*plan, error) {
 // Fig14 reproduces Appendix B: which non-contiguous-data strategy wins each
 // (node count, vector size) cell of the allgather sweep on the LUMI-like
 // system, and its gain over the binomial butterfly.
-func Fig14(w io.Writer, opts Options) error {
+func Fig14(ctx context.Context, w io.Writer, opts Options) error {
 	p, err := planFig14(opts)
-	return runPlan(w, p, err, opts)
+	return runPlan(ctx, w, p, err, opts)
 }
 
 func planFig14(opts Options) (*plan, error) {
@@ -474,9 +474,9 @@ func planFig14(opts Options) (*plan, error) {
 // Fig11b reproduces the Fugaku evaluation (Sec. 5.4): Bine torus
 // collectives against bucket, ring and butterfly baselines over the paper's
 // job shapes, as per-collective improvement boxplots.
-func Fig11b(w io.Writer, opts Options) error {
+func Fig11b(ctx context.Context, w io.Writer, opts Options) error {
 	p, err := planFig11b(opts)
-	return runPlan(w, p, err, opts)
+	return runPlan(ctx, w, p, err, opts)
 }
 
 func planFig11b(opts Options) (*plan, error) {
@@ -680,9 +680,9 @@ func planFig11b(opts Options) (*plan, error) {
 // allreduce (intra-node reduce-scatter, inter-node Bine allreduce,
 // intra-node allgather) against flat algorithms on a machine with four
 // fully connected GPUs per node.
-func Hier(w io.Writer, opts Options) error {
+func Hier(ctx context.Context, w io.Writer, opts Options) error {
 	p, err := planHier(opts)
-	return runPlan(w, p, err, opts)
+	return runPlan(ctx, w, p, err, opts)
 }
 
 func planHier(opts Options) (*plan, error) {
@@ -815,9 +815,9 @@ func planHier(opts Options) (*plan, error) {
 // AppD illustrates Appendix D on a 4×4 torus: hop counts of the flat Bine
 // tree vs the torus-optimized construction, and the DFS-postorder block
 // permutation.
-func AppD(w io.Writer) error {
+func AppD(ctx context.Context, w io.Writer) error {
 	p, err := planAppD()
-	return runPlan(w, p, err, Options{})
+	return runPlan(ctx, w, p, err, Options{})
 }
 
 func planAppD() (*plan, error) {

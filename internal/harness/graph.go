@@ -82,15 +82,15 @@ func (t *progressTracker) taskDone(system string) {
 // runPlan drains one experiment's tasks on its own pool and renders — the
 // serial per-experiment path behind the standalone drivers (Fig5, Fig11b,
 // …). RunAll bypasses it and drains every plan's tasks together on one
-// shared Runner instead.
-func runPlan(w io.Writer, p *plan, err error, opts Options) error {
+// shared Runner instead. ctx bounds cell dispatch and carries the trace the
+// stage timings attribute to.
+func runPlan(ctx context.Context, w io.Writer, p *plan, err error, opts Options) error {
 	if err != nil {
 		return err
 	}
 	tracker := newProgressTracker(opts.Progress, p.tasks)
-	ctx := context.Background()
 	endExec := obs.TimeStage(ctx, obs.StageExecute)
-	if err := pool.ForEach(opts.Workers, len(p.tasks), func(i int) error {
+	if err := pool.ForEachCtx(ctx, opts.Workers, len(p.tasks), func(i int) error {
 		if err := p.tasks[i].run(ctx); err != nil {
 			return err
 		}
@@ -214,11 +214,12 @@ func selectSteps(keys []string) ([]step, error) {
 // paper order. All selected experiments compile up front and their cells
 // form one flat job graph drained by a single process-wide pool.Runner —
 // cross-system sharding — before the artifacts render serially, separated
-// exactly as the per-experiment path separates them.
-func RunAll(w io.Writer, opts Options) error {
+// exactly as the per-experiment path separates them. ctx bounds cell
+// submission and carries the trace the stage timings attribute to.
+func RunAll(ctx context.Context, w io.Writer, opts Options) error {
 	runner := pool.NewRunner(opts.Workers)
 	defer runner.Close()
-	return RunAllOn(context.Background(), w, runner, opts)
+	return RunAllOn(ctx, w, runner, opts)
 }
 
 // RunAllOn is RunAll on a caller-owned Runner with context-bounded cell
@@ -350,12 +351,12 @@ func (e *Experiment) Run(ctx context.Context, w io.Writer, runner *pool.Runner, 
 // compilation and rendering with the service path, so binebench files and
 // binebenchd responses for the same request are byte-identical by
 // construction (and pinned by tests on both sides).
-func RunExperiment(w io.Writer, name string, opts Options) error {
+func RunExperiment(ctx context.Context, w io.Writer, name string, opts Options) error {
 	start := time.Now()
 	e, err := CompileExperiment(name, opts)
 	obs.ObserveStage(obs.StageCompile, time.Since(start))
 	if err != nil {
 		return err
 	}
-	return runPlan(w, e.p, nil, opts)
+	return runPlan(ctx, w, e.p, nil, opts)
 }

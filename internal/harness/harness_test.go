@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestSweepCollectiveShape(t *testing.T) {
 	sys := LUMI()
 	counts := []int{16, 32}
 	sizes := []int64{32, 1 << 20}
-	res, err := sweepCollective(sys, coll.CAllreduce, counts, sizes, 0)
+	res, err := sweepCollective(context.Background(), sys, coll.CAllreduce, counts, sizes, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestSweepLatencyVsBandwidthRegimes(t *testing.T) {
 	// few nodes ring wins (the paper's Fig. 10a shows exactly this
 	// crossover).
 	sys := LUMI()
-	res, err := sweepCollective(sys, coll.CAllreduce, []int{16}, []int64{32, 512 << 20}, 0)
+	res, err := sweepCollective(context.Background(), sys, coll.CAllreduce, []int{16}, []int64{32, 512 << 20}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,17 +118,17 @@ func TestExperimentDriversRunQuick(t *testing.T) {
 		run  func(w *strings.Builder) error
 		want string
 	}{
-		{"fig1", func(w *strings.Builder) error { return Fig1(w) }, "6n global"},
-		{"eq2", func(w *strings.Builder) error { return Eq2(w) }, "0.6"},
-		{"table5", func(w *strings.Builder) error { return TableBinomial(w, MareNostrum(), opts) }, "allreduce"},
-		{"heatmap", func(w *strings.Builder) error { return HeatmapAllreduce(w, MareNostrum(), opts) }, "Bine best in"},
-		{"boxplots", func(w *strings.Builder) error { return Boxplots(w, MareNostrum(), opts) }, "alltoall"},
-		{"fig14", func(w *strings.Builder) error { return Fig14(w, opts) }, "strategy"},
-		{"fig11b", func(w *strings.Builder) error { return Fig11b(w, opts) }, "allreduce"},
-		{"hier", func(w *strings.Builder) error { return Hier(w, opts) }, "hier-bine"},
-		{"appD", func(w *strings.Builder) error { return AppD(w) }, "torus-optimized"},
-		{"ppn", func(w *strings.Builder) error { return PPN(w, opts) }, "ppn=4"},
-		{"fig5", func(w *strings.Builder) error { return Fig5(w, opts) }, "LUMI"},
+		{"fig1", func(w *strings.Builder) error { return Fig1(context.Background(), w) }, "6n global"},
+		{"eq2", func(w *strings.Builder) error { return Eq2(context.Background(), w) }, "0.6"},
+		{"table5", func(w *strings.Builder) error { return TableBinomial(context.Background(), w, MareNostrum(), opts) }, "allreduce"},
+		{"heatmap", func(w *strings.Builder) error { return HeatmapAllreduce(context.Background(), w, MareNostrum(), opts) }, "Bine best in"},
+		{"boxplots", func(w *strings.Builder) error { return Boxplots(context.Background(), w, MareNostrum(), opts) }, "alltoall"},
+		{"fig14", func(w *strings.Builder) error { return Fig14(context.Background(), w, opts) }, "strategy"},
+		{"fig11b", func(w *strings.Builder) error { return Fig11b(context.Background(), w, opts) }, "allreduce"},
+		{"hier", func(w *strings.Builder) error { return Hier(context.Background(), w, opts) }, "hier-bine"},
+		{"appD", func(w *strings.Builder) error { return AppD(context.Background(), w) }, "torus-optimized"},
+		{"ppn", func(w *strings.Builder) error { return PPN(context.Background(), w, opts) }, "ppn=4"},
+		{"fig5", func(w *strings.Builder) error { return Fig5(context.Background(), w, opts) }, "LUMI"},
 	}
 	for _, d := range drivers {
 		var sb strings.Builder
@@ -143,7 +144,7 @@ func TestExperimentDriversRunQuick(t *testing.T) {
 
 func TestFig1MatchesPaperNumbers(t *testing.T) {
 	var sb strings.Builder
-	if err := Fig1(&sb); err != nil {
+	if err := Fig1(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -154,7 +155,7 @@ func TestFig1MatchesPaperNumbers(t *testing.T) {
 
 func TestTorusBeatsFlatOnHops(t *testing.T) {
 	var sb strings.Builder
-	if err := AppD(&sb); err != nil {
+	if err := AppD(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	var flat, torus int
@@ -206,4 +207,44 @@ func sscanInt(s string, out *int) (int, error) {
 	}
 	*out = v
 	return 1, nil
+}
+
+// TestSweepCollectiveCancel pins that a caller's cancellation reaches the
+// sweep's cells: a pre-cancelled context drains nothing and the cancellation
+// error surfaces from sweepCollective — the invariant the ctxflow analyzer
+// guards (sweepCollective once minted its own context.Background(), which
+// silently detached every cell from the caller).
+func TestSweepCollectiveCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sys := MareNostrum()
+	_, err := sweepCollective(ctx, sys, coll.CAllreduce, []int{16}, []int64{32}, 0)
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+
+	// A live context still sweeps: the same call, uncancelled, succeeds.
+	res, err := sweepCollective(context.Background(), sys, coll.CAllreduce, []int{16}, []int64{32}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) == 0 {
+		t.Fatal("uncancelled sweep produced no cells")
+	}
+}
+
+// TestRunAllCancel pins the same cut-off one level up, on the flat
+// cross-system job graph: a cancelled RunAll returns the cancellation error
+// and renders nothing.
+func TestRunAllCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	err := RunAll(ctx, &sb, Options{Quick: true, Systems: []string{"misc"}})
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("cancelled RunAll rendered %d bytes", sb.Len())
+	}
 }

@@ -69,19 +69,19 @@ type trPtr struct {
 func TestParallelSweepByteIdentical(t *testing.T) {
 	sys := MareNostrum()
 	chain := func(sb *strings.Builder, opts Options) error {
-		if err := HeatmapAllreduce(sb, sys, opts); err != nil {
+		if err := HeatmapAllreduce(context.Background(), sb, sys, opts); err != nil {
 			return err
 		}
-		if err := PPN(sb, opts); err != nil {
+		if err := PPN(context.Background(), sb, opts); err != nil {
 			return err
 		}
-		if err := Fig11b(sb, opts); err != nil {
+		if err := Fig11b(context.Background(), sb, opts); err != nil {
 			return err
 		}
-		if err := Hier(sb, opts); err != nil {
+		if err := Hier(context.Background(), sb, opts); err != nil {
 			return err
 		}
-		return Fig5(sb, opts)
+		return Fig5(context.Background(), sb, opts)
 	}
 	render := func(workers int) string {
 		ResetTraceCache()
@@ -114,7 +114,7 @@ func TestTableBinomialByteIdentical(t *testing.T) {
 	render := func(workers int) string {
 		ResetTraceCache()
 		var sb strings.Builder
-		if err := TableBinomial(&sb, sys, Options{Quick: true, Workers: workers}); err != nil {
+		if err := TableBinomial(context.Background(), &sb, sys, Options{Quick: true, Workers: workers}); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		return sb.String()

@@ -15,9 +15,9 @@ import (
 // node each node injects more traffic, so the global-link relief Bine
 // provides matters more — the paper saw the 1 MiB reduce-scatter gain grow
 // from 59% to 84%.
-func PPN(w io.Writer, opts Options) error {
+func PPN(ctx context.Context, w io.Writer, opts Options) error {
 	p, err := planPPN(opts)
-	return runPlan(w, p, err, opts)
+	return runPlan(ctx, w, p, err, opts)
 }
 
 func planPPN(opts Options) (*plan, error) {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -18,22 +19,22 @@ func serialSuite(t *testing.T, workers int) string {
 	opts := Options{Quick: true, Workers: workers}
 	var sb strings.Builder
 	chain := []func(w io.Writer) error{
-		func(w io.Writer) error { return Fig1(w) },
-		func(w io.Writer) error { return Eq2(w) },
-		func(w io.Writer) error { return Fig5(w, opts) },
-		func(w io.Writer) error { return TableBinomial(w, LUMI(), opts) },
-		func(w io.Writer) error { return HeatmapAllreduce(w, LUMI(), opts) },
-		func(w io.Writer) error { return Boxplots(w, LUMI(), opts) },
-		func(w io.Writer) error { return TableBinomial(w, Leonardo(), opts) },
-		func(w io.Writer) error { return HeatmapAllreduce(w, Leonardo(), opts) },
-		func(w io.Writer) error { return Boxplots(w, Leonardo(), opts) },
-		func(w io.Writer) error { return TableBinomial(w, MareNostrum(), opts) },
-		func(w io.Writer) error { return Boxplots(w, MareNostrum(), opts) },
-		func(w io.Writer) error { return Fig11b(w, opts) },
-		func(w io.Writer) error { return Fig14(w, opts) },
-		func(w io.Writer) error { return Hier(w, opts) },
-		func(w io.Writer) error { return PPN(w, opts) },
-		func(w io.Writer) error { return AppD(w) },
+		func(w io.Writer) error { return Fig1(context.Background(), w) },
+		func(w io.Writer) error { return Eq2(context.Background(), w) },
+		func(w io.Writer) error { return Fig5(context.Background(), w, opts) },
+		func(w io.Writer) error { return TableBinomial(context.Background(), w, LUMI(), opts) },
+		func(w io.Writer) error { return HeatmapAllreduce(context.Background(), w, LUMI(), opts) },
+		func(w io.Writer) error { return Boxplots(context.Background(), w, LUMI(), opts) },
+		func(w io.Writer) error { return TableBinomial(context.Background(), w, Leonardo(), opts) },
+		func(w io.Writer) error { return HeatmapAllreduce(context.Background(), w, Leonardo(), opts) },
+		func(w io.Writer) error { return Boxplots(context.Background(), w, Leonardo(), opts) },
+		func(w io.Writer) error { return TableBinomial(context.Background(), w, MareNostrum(), opts) },
+		func(w io.Writer) error { return Boxplots(context.Background(), w, MareNostrum(), opts) },
+		func(w io.Writer) error { return Fig11b(context.Background(), w, opts) },
+		func(w io.Writer) error { return Fig14(context.Background(), w, opts) },
+		func(w io.Writer) error { return Hier(context.Background(), w, opts) },
+		func(w io.Writer) error { return PPN(context.Background(), w, opts) },
+		func(w io.Writer) error { return AppD(context.Background(), w) },
 	}
 	for i, run := range chain {
 		if i > 0 {
@@ -57,7 +58,7 @@ func TestShardedRunAllByteIdentical(t *testing.T) {
 	for _, workers := range []int{1, runtime.NumCPU()} {
 		ResetTraceCache()
 		var sb strings.Builder
-		if err := RunAll(&sb, Options{Quick: true, Workers: workers}); err != nil {
+		if err := RunAll(context.Background(), &sb, Options{Quick: true, Workers: workers}); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		if sb.String() != reference {
@@ -72,7 +73,7 @@ func TestRunAllSystemsSelector(t *testing.T) {
 	ResetTraceCache()
 	defer ResetTraceCache()
 	var sb strings.Builder
-	err := RunAll(&sb, Options{Quick: true, Workers: runtime.NumCPU(), Systems: []string{"marenostrum"}})
+	err := RunAll(context.Background(), &sb, Options{Quick: true, Workers: runtime.NumCPU(), Systems: []string{"marenostrum"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRunAllSystemsSelector(t *testing.T) {
 			t.Fatalf("selection %q leaked %q:\n%s", "marenostrum", absent, out)
 		}
 	}
-	if err := RunAll(io.Discard, Options{Quick: true, Systems: []string{"nonesuch"}}); err == nil {
+	if err := RunAll(context.Background(), io.Discard, Options{Quick: true, Systems: []string{"nonesuch"}}); err == nil {
 		t.Fatal("unknown system key accepted")
 	}
 }
@@ -110,7 +111,7 @@ func TestRunAllProgressCounters(t *testing.T) {
 		last[system] = done
 		totals[system] = total
 	}
-	err := RunAll(io.Discard, Options{Quick: true, Workers: runtime.NumCPU(), Progress: progress})
+	err := RunAll(context.Background(), io.Discard, Options{Quick: true, Workers: runtime.NumCPU(), Progress: progress})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -12,7 +13,7 @@ import (
 func renderSuite(t *testing.T, workers int) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := RunAll(&sb, Options{Quick: true, Workers: workers}); err != nil {
+	if err := RunAll(context.Background(), &sb, Options{Quick: true, Workers: workers}); err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)
 	}
 	return sb.String()

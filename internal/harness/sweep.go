@@ -227,14 +227,15 @@ func planSweep(sys System, collective coll.Collective, counts []int, sizes []int
 }
 
 // sweepCollective is the standalone form of planSweep: it drains the tasks
-// on its own pool of the given width and returns the merged result.
-func sweepCollective(sys System, collective coll.Collective, counts []int, sizes []int64, workers int) (*sweepResult, error) {
+// on its own pool of the given width and returns the merged result. ctx
+// bounds cell dispatch — a cancelled caller stops submitting cells and the
+// cancellation error surfaces here (pinned by TestSweepCollectiveCancel).
+func sweepCollective(ctx context.Context, sys System, collective coll.Collective, counts []int, sizes []int64, workers int) (*sweepResult, error) {
 	tasks, finish, err := planSweep(sys, collective, counts, sizes)
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
-	if err := pool.ForEach(workers, len(tasks), func(i int) error { return tasks[i].run(ctx) }); err != nil {
+	if err := pool.ForEachCtx(ctx, workers, len(tasks), func(i int) error { return tasks[i].run(ctx) }); err != nil {
 		return nil, err
 	}
 	return finish(), nil

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces all-or-nothing atomicity per struct field: a field
+// accessed through sync/atomic anywhere in the module must never be read or
+// written with a plain load/store elsewhere. Mixing the two is a data race
+// the race detector only catches if a test happens to exercise both paths
+// concurrently — the metrics-accuracy fixes after PR 7 were exactly this
+// class (counters read bare in Snapshot while incremented atomically on the
+// hot path). The modern escape hatch is the atomic.Uint64-style wrapper
+// types, whose methods are the only access path; this rule only tracks
+// fields passed by address to the sync/atomic package-level functions
+// (atomic.AddUint64(&s.n, 1), atomic.LoadInt64(&s.done), ...).
+//
+// AtomicMix is global: the atomic access and the bare access are usually in
+// different files or packages, so it correlates across the whole load set.
+var AtomicMix = &Analyzer{
+	Name:   "atomicmix",
+	Doc:    "a field accessed via sync/atomic must never be accessed non-atomically",
+	Global: true,
+	Run:    runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass A: every field passed as &x.f to a sync/atomic package function,
+	// with one representative site for the message.
+	atomicFields := map[*types.Var]token.Pos{}
+	atomicSites := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // atomic.Uint64-style method: wrapper types are self-contained
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					v := fieldVar(info, sel)
+					if v == nil {
+						continue
+					}
+					atomicSites[sel] = true
+					if _, seen := atomicFields[v]; !seen {
+						atomicFields[v] = sel.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass B: any other selector resolving to one of those fields is a bare
+	// access. Taking the address for another atomic call was collected in
+	// pass A; everything else — reads, writes, &x.f handed elsewhere — mixes.
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicSites[sel] {
+					return true
+				}
+				v := fieldVar(info, sel)
+				if v == nil {
+					return true
+				}
+				atomicPos, ok := atomicFields[v]
+				if !ok {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed atomically at %s but non-atomically here; every access must go through sync/atomic (or migrate the field to an atomic.%s-style type)",
+					v.Name(), pass.Position(atomicPos), atomicTypeName(v.Type()))
+				return true
+			})
+		}
+	}
+}
+
+// fieldVar resolves a selector to the struct field it names, or nil for
+// package selectors, methods, and non-field variables.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// atomicTypeName suggests the sync/atomic wrapper type matching t, for the
+// migration hint in the finding message.
+func atomicTypeName(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint, types.Uintptr:
+		return "Uint64"
+	case types.Bool:
+		return "Bool"
+	default:
+		return "Value"
+	}
+}

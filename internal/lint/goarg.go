@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoArg flags function-call arguments inside go and defer statements: Go
+// evaluates the call's arguments (and the function expression itself) in
+// the calling goroutine, at the go/defer statement — only the call runs
+// later. That is exactly the PR 7 production bug, where
+//
+//	go log.Printf("binebenchd: %v", srv.Prewarm())
+//
+// blocked the daemon's listener on the whole prewarm pass in the caller,
+// defeating the liveness/readiness split. The fix — and the suggestion this
+// rule makes — is to wrap the work in a closure so it runs in the spawned
+// goroutine (or at defer time): go func() { log.Printf(..., srv.Prewarm()) }().
+//
+// Two deliberate idioms are exempt:
+//   - time.Now() as a defer argument (defer h.ObserveSince(time.Now()))
+//     depends on caller-time evaluation to capture the start time;
+//   - a call in function position (defer obs.TimeStage(ctx, stage)())
+//     is the standard pattern for building the deferred closure up front.
+//
+// Builtins (len, cap, make, ...) and type conversions cannot block or have
+// side effects and are not flagged; their operands are still inspected.
+var GoArg = &Analyzer{
+	Name: "goarg",
+	Doc:  "function-call arguments of go/defer statements are evaluated in the caller",
+	Run:  runGoArg,
+}
+
+func runGoArg(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var kw string
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				call, kw = s.Call, "go"
+			case *ast.DeferStmt:
+				call, kw = s.Call, "defer"
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				flagCallsIn(pass, info, arg, kw)
+			}
+			return true
+		})
+	}
+}
+
+// flagCallsIn reports every function call inside arg that the kw statement
+// evaluates in the caller. Closures are not descended into (their bodies
+// run later); a reported call's own arguments are not re-reported.
+func flagCallsIn(pass *Pass, info *types.Info, arg ast.Expr, kw string) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch c := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if tv, ok := info.Types[c.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call; inspect its operand
+			}
+			if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok {
+				if _, ok := info.Uses[id].(*types.Builtin); ok {
+					return true // len/cap/make/...: pure, inspect operands
+				}
+			}
+			if kw == "defer" && isPkgFunc(calleeFunc(info, c), "Now", "time") {
+				return false // defer f(time.Now()) captures the start deliberately
+			}
+			pass.Reportf(c.Pos(),
+				"%s is evaluated now, in the caller, not when the %s statement's call runs; wrap it in a closure (%s func() { ... }()) if it must run later",
+				types.ExprString(c), kw, kw)
+			return false
+		}
+		return true
+	})
+}

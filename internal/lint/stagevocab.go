@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StageVocab keeps stage and origin names in lockstep with the exported
+// internal/obs vocabulary. CI's metrics-scrape gate asserts that every
+// binebench_stage_seconds / binebench_resolve_seconds series carries one of
+// the known stage/origin labels; a call site passing a raw string literal
+// ("evaluate", "my-stage") compiles fine, silently mints a new series, and
+// only fails at the CI scrape — or worse, never fails and just fragments
+// the dashboards. Outside internal/obs, the stage/origin argument of the
+// obs timing entry points must therefore be one of the exported constants
+// (obs.Stage*, obs.Origin*). Non-constant expressions (ranging over
+// obs.Stages(), a parameter) are allowed — the vocabulary functions already
+// enumerate only exported names.
+var StageVocab = &Analyzer{
+	Name: "stagevocab",
+	Doc:  "stage/origin arguments to obs timing calls must be the exported obs constants",
+	Run:  runStageVocab,
+}
+
+// stageArgIndex maps each obs timing entry point to the position of its
+// stage/origin argument.
+var stageArgIndex = map[string]int{
+	"TimeStage":       1,
+	"StartSpan":       1,
+	"ObserveStage":    0,
+	"ObserveStageCtx": 1,
+	"ObserveResolve":  1,
+}
+
+func runStageVocab(pass *Pass) {
+	if pathSegments(pass.Pkg.Path, "internal", "obs") {
+		return // the defining package owns the vocabulary
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || !pathSegments(fn.Pkg().Path(), "internal", "obs") {
+				return true
+			}
+			idx, ok := stageArgIndex[fn.Name()]
+			if !ok || idx >= len(call.Args) {
+				return true
+			}
+			arg := call.Args[idx]
+			tv, ok := info.Types[arg]
+			if !ok || tv.Value == nil {
+				return true // not a compile-time constant: can't verify, don't guess
+			}
+			if obj := constObject(info, arg); obj != nil && obj.Pkg() != nil && pathSegments(obj.Pkg().Path(), "internal", "obs") {
+				return true // one of the exported obs constants
+			}
+			what := "constant"
+			if _, isLit := ast.Unparen(arg).(*ast.BasicLit); isLit {
+				what = "string literal"
+			}
+			pass.Reportf(arg.Pos(),
+				"raw %s %s passed as the stage/origin argument of obs.%s; use the exported obs vocabulary constants (obs.Stage*, obs.Origin*) so the CI metrics-scrape gate knows the series",
+				what, types.ExprString(arg), fn.Name())
+			return true
+		})
+	}
+}
+
+// constObject resolves a constant expression to the declared constant it
+// uses (obs.StageEvaluate → the obs package's Const), or nil for literals
+// and computed constants.
+func constObject(info *types.Info, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	c, _ := info.Uses[id].(*types.Const)
+	return c
+}

@@ -1,0 +1,35 @@
+// Golden package for the atomicmix analyzer: a field accessed via
+// sync/atomic anywhere must never be accessed non-atomically elsewhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64 // mixed: atomic in Record, bare in Snapshot
+	total int64 // consistently atomic
+	name  string
+	v     atomic.Int64 // wrapper type: methods are the only access path
+}
+
+func (c *counters) Record() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, 1)
+	c.v.Add(1)
+}
+
+func (c *counters) Snapshot() (int64, int64) {
+	h := c.hits // want `field hits is accessed atomically at .* but non-atomically here`
+	t := atomic.LoadInt64(&c.total)
+	return h, t
+}
+
+func (c *counters) Reset() {
+	c.hits = 0 // want `field hits is accessed atomically at .* but non-atomically here`
+	atomic.StoreInt64(&c.total, 0)
+	c.v.Store(0)
+}
+
+func (c *counters) Name() string {
+	// Fields never touched by sync/atomic are unconstrained.
+	return c.name
+}

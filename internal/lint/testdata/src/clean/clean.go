@@ -1,0 +1,30 @@
+// Golden package with no findings under any analyzer: the driver must exit
+// zero here.
+package clean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type stats struct {
+	counts map[string]int
+}
+
+func (s *stats) render(w io.Writer) {
+	var names []string
+	for name := range s.counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, s.counts[name])
+	}
+}
+
+func spawn(work func()) {
+	go func() {
+		work()
+	}()
+}

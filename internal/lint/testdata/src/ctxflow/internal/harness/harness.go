@@ -1,0 +1,18 @@
+// Golden package for the ctxflow analyzer: the import path ends in
+// internal/harness, so it is inside the rule's target set.
+package harness
+
+import "context"
+
+func mint() context.Context {
+	return context.Background() // want `context\.Background\(\) mints a root context`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) mints a root context`
+}
+
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	// Deriving from the caller's context is the point of the rule.
+	return context.WithCancel(ctx)
+}

@@ -1,0 +1,9 @@
+// Golden package for the ctxflow analyzer: not under internal/harness,
+// internal/service, or internal/pool, so root contexts are allowed here.
+package outside
+
+import "context"
+
+func mintFreely() context.Context {
+	return context.Background() // fine: entry points outside the request path own fresh lifetimes
+}

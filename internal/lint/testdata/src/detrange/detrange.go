@@ -1,0 +1,65 @@
+// Golden package for the detrange analyzer: map iteration feeding rendered
+// output must go through a sort.
+package detrange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func badDirectWrite(w io.Writer, cells map[string]int) {
+	for name, v := range cells { // want `map iteration order is nondeterministic: this range over cells calls Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", name, v)
+	}
+}
+
+func badBuilderWrite(cells map[string]int) string {
+	var sb strings.Builder
+	for name := range cells { // want `map iteration order is nondeterministic: this range over cells calls WriteString`
+		sb.WriteString(name)
+	}
+	return sb.String()
+}
+
+func badUnsortedAppend(cells map[string]int) []string {
+	var names []string
+	for name := range cells { // want `appends to names without a later sort`
+		names = append(names, name)
+	}
+	return names
+}
+
+func goodCollectThenSort(w io.Writer, cells map[string]int) {
+	var names []string
+	for name := range cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s=%d\n", name, cells[name])
+	}
+}
+
+func goodMapFold(cells map[string]int) map[string]int {
+	// Folding into another map is order-independent.
+	out := map[string]int{}
+	for name, v := range cells {
+		out[name] += v
+	}
+	return out
+}
+
+func goodLoopLocalAppend(cells map[string][]int) int {
+	n := 0
+	for _, vs := range cells {
+		// The accumulator is scoped to one iteration; order cannot leak.
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+// Golden package for the goarg analyzer: call arguments of go/defer
+// statements are evaluated in the caller.
+package goarg
+
+import (
+	"fmt"
+	"log"
+	"time"
+)
+
+type server struct{}
+
+func (s *server) Prewarm() error { return nil }
+
+func expensive() int { return 42 }
+
+func bad(srv *server) {
+	// The PR 7 bug shape: Prewarm runs in the caller, blocking it.
+	go log.Printf("ready: %v", srv.Prewarm()) // want `srv\.Prewarm\(\) is evaluated now`
+
+	defer fmt.Println(expensive()) // want `expensive\(\) is evaluated now`
+
+	// Nested inside an operand, still caller-evaluated.
+	go fmt.Println(1 + expensive()) // want `expensive\(\) is evaluated now`
+
+	// A defer that formats an elapsed time measures ~0: Since runs now.
+	t0 := time.Now()
+	defer log.Printf("took %v", time.Since(t0)) // want `time\.Since\(t0\) is evaluated now`
+}
+
+func good(srv *server) {
+	// The suggested fix: the work moves into the spawned goroutine.
+	go func() { log.Printf("ready: %v", srv.Prewarm()) }()
+
+	// Capturing the start time at defer time is the deliberate idiom.
+	defer observeSince(time.Now())
+
+	// A call in function position builds the deferred closure up front.
+	defer timer("stage")()
+
+	// Builtins and conversions are pure.
+	s := []int{1, 2, 3}
+	defer fmt.Println(len(s))
+	defer fmt.Println(int64(cap(s)))
+}
+
+func observeSince(time.Time) {}
+func timer(string) func()    { return func() {} }

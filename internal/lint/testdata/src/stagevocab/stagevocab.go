@@ -1,0 +1,36 @@
+// Golden package for the stagevocab analyzer: stage/origin arguments to the
+// obs timing entry points must be the exported obs constants.
+package stagevocab
+
+import (
+	"context"
+	"time"
+
+	"binetrees/internal/obs"
+)
+
+const localStage = "my-stage"
+
+func bad(ctx context.Context) {
+	obs.ObserveStage("evaluate", time.Second) // want `raw string literal "evaluate" passed as the stage/origin argument of obs\.ObserveStage`
+
+	defer obs.TimeStage(ctx, "render")() // want `raw string literal "render" passed as the stage/origin argument of obs\.TimeStage`
+
+	_, end := obs.StartSpan(ctx, localStage) // want `raw constant localStage passed as the stage/origin argument of obs\.StartSpan`
+	end()
+
+	obs.ObserveResolve(ctx, "memory", time.Second) // want `raw string literal "memory" passed as the stage/origin argument of obs\.ObserveResolve`
+}
+
+func good(ctx context.Context) {
+	obs.ObserveStage(obs.StageCompile, time.Second)
+	defer obs.TimeStage(ctx, obs.StageRender)()
+	_, end := obs.StartSpan(ctx, obs.StageExecute)
+	end()
+	obs.ObserveResolve(ctx, obs.OriginMemory, time.Second)
+
+	// Non-constant stages (enumerating the vocabulary) are allowed.
+	for _, stage := range obs.Stages() {
+		obs.ObserveStage(stage, 0)
+	}
+}

@@ -1,0 +1,33 @@
+// Golden package for the suppression machinery, asserted programmatically
+// (TestSuppression): well-formed directives silence matching findings,
+// malformed and unused directives are themselves findings. Line positions
+// are located by the marker comments, not hard-coded.
+package suppress
+
+import (
+	"fmt"
+	"log"
+)
+
+func expensive() int { return 7 }
+
+func suppressed() {
+	//binelint:ignore goarg the caller-time evaluation is deliberate here
+	go log.Printf("v=%d", expensive()) // marker:suppressed-above
+	go fmt.Println(expensive())        //binelint:ignore goarg marker:suppressed-trailing
+}
+
+func notSuppressed() {
+	//binelint:ignore ctxflow marker:wrong-rule
+	go fmt.Println(expensive()) // marker:unsuppressed
+}
+
+func malformed() {
+	//binelint:ignore goarg
+	go func() { fmt.Println(expensive()) }() // marker:malformed-above
+}
+
+func unused() {
+	//binelint:ignore goarg marker:unused-directive
+	fmt.Println(expensive())
+}

@@ -24,6 +24,21 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // on the calling goroutine; the parallel path delegates to a one-shot
 // Runner, the single implementation of those guarantees.
 func ForEach(workers, n int, fn func(i int) error) error {
+	// Compatibility wrapper for context-free batch callers (CLI paths that
+	// own the whole process lifetime); everything request-scoped goes through
+	// ForEachCtx.
+	//binelint:ignore ctxflow ForEach is the documented context-free entry point; request paths use ForEachCtx
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach bounded by a context: once ctx is cancelled no
+// further indices are dispatched (already-dispatched indices run to
+// completion, keeping shared state consistent) and ctx.Err() is returned —
+// unless a dispatched index failed first, in which case the usual
+// lowest-failing-index error wins. The serial workers <= 1 path checks the
+// context between indices, so cancellation has the same cut-off semantics at
+// any pool width.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -32,6 +47,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -40,7 +58,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	r := NewRunner(workers)
 	defer r.Close()
-	return r.ForEach(n, fn)
+	return r.ForEachCtx(ctx, n, fn)
 }
 
 // Collect is ForEach with a result slot per index: fn(i)'s value lands in
@@ -150,6 +168,7 @@ func (r *Runner) Close() {
 // always runs and its error is returned — the same error a serial loop
 // would stop on.
 func (r *Runner) ForEach(n int, fn func(i int) error) error {
+	//binelint:ignore ctxflow ForEach is the documented context-free entry point; request paths use ForEachCtx
 	return r.ForEachCtx(context.Background(), n, fn)
 }
 

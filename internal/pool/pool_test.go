@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -222,5 +223,96 @@ func TestRunnerStats(t *testing.T) {
 	}
 	if s.WaitSeconds < 0 || s.BusySeconds <= 0 {
 		t.Fatalf("time accumulators: %+v", s)
+	}
+}
+
+// TestForEachCtxPreCancelled pins the cancellation cut-off at both the
+// serial and the pooled width: a context cancelled before the call runs
+// nothing and returns ctx.Err().
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, workers, 50, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d indices ran under a pre-cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+// TestForEachCtxStopsDispatchingOnCancel cancels mid-drain: index 3 cancels
+// the context, after which no further indices may be dispatched (in-flight
+// ones complete), and the batch reports ctx.Err().
+func TestForEachCtxStopsDispatchingOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, workers, 200, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n == 200 {
+			t.Fatalf("workers=%d: cancellation did not stop dispatch (all %d ran)", workers, n)
+		} else if n < 4 {
+			t.Fatalf("workers=%d: only %d indices ran before the cancelling index finished", workers, n)
+		}
+	}
+}
+
+// TestForEachCtxErrorBeatsCancel pins the error-selection order: when a
+// dispatched index fails and the context is also cancelled, the index error
+// wins — cancellation is the less specific signal.
+func TestForEachCtxErrorBeatsCancel(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := ForEachCtx(ctx, workers, 100, func(i int) error {
+			if i == 2 {
+				cancel()
+				return boom
+			}
+			return nil
+		})
+		cancel()
+		if err != boom {
+			t.Fatalf("workers=%d: got %v, want the index error over ctx.Err()", workers, err)
+		}
+	}
+}
+
+// TestRunnerForEachCtxCancelKeepsRunnerUsable pins that a cancelled batch
+// leaves the shared Runner fit for the next request — the service's resident
+// pool must survive aborted requests.
+func TestRunnerForEachCtxCancelKeepsRunnerUsable(t *testing.T) {
+	r := NewRunner(3)
+	defer r.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.ForEachCtx(ctx, 50, func(int) error { return nil }); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	var ran atomic.Int64
+	if err := r.ForEach(50, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("follow-up batch ran %d/50 indices", ran.Load())
+	}
+	if s := r.Stats(); s.QueueDepth != 0 || s.InFlight != 0 {
+		t.Fatalf("gauges after drain: %+v", s)
 	}
 }

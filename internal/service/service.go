@@ -114,6 +114,7 @@ func New(cfg Config) (*Server, error) {
 	if err := harness.SetTraceStore(cfg.TraceDir); err != nil {
 		return nil, err
 	}
+	//binelint:ignore ctxflow server-lifetime root context, cancelled by Close; requests derive from it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		runner:      pool.NewRunner(cfg.Workers),

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -61,7 +62,7 @@ func TestArtifactByteIdentity(t *testing.T) {
 	_, ts := newTestServer(t, "")
 	for _, name := range harness.ExperimentNames() {
 		var want strings.Builder
-		if err := harness.RunExperiment(&want, name, harness.Options{Quick: true}); err != nil {
+		if err := harness.RunExperiment(context.Background(), &want, name, harness.Options{Quick: true}); err != nil {
 			t.Fatal(err)
 		}
 		code, body := get(t, ts.URL+"/artifact/"+name)
@@ -73,7 +74,7 @@ func TestArtifactByteIdentity(t *testing.T) {
 		}
 	}
 	var want strings.Builder
-	if err := harness.RunAll(&want, harness.Options{Quick: true, Systems: []string{"misc"}}); err != nil {
+	if err := harness.RunAll(context.Background(), &want, harness.Options{Quick: true, Systems: []string{"misc"}}); err != nil {
 		t.Fatal(err)
 	}
 	code, body := get(t, ts.URL+"/artifact/all?systems=misc")
@@ -97,7 +98,7 @@ func TestSingleflightDedup(t *testing.T) {
 	// count of a cold fig1 render.
 	harness.ResetTraceCache()
 	var want strings.Builder
-	if err := harness.RunExperiment(&want, "fig1", harness.Options{Quick: true}); err != nil {
+	if err := harness.RunExperiment(context.Background(), &want, "fig1", harness.Options{Quick: true}); err != nil {
 		t.Fatal(err)
 	}
 	synthRef := harness.TraceCacheStats().SynthHits
