@@ -30,6 +30,15 @@
 // may share one -trace-cache directory: stored traces are written
 // world-readable and corrupt files self-evict on either side.
 //
+// Overload protection: at most -max-flights non-follower renders run
+// concurrently, at most -queue-budget further flights wait for a slot, and
+// anything beyond that is shed with 429 Too Many Requests + a Retry-After
+// computed from recent p95 serve latency. Followers joining an in-flight
+// render are never shed. If the -trace-cache directory turns read-only or
+// fills up mid-flight, the store flips to a degraded read-only mode —
+// requests keep succeeding from memory and synthesis, /statsz reports the
+// degradation, and the store probes periodically for recovery.
+//
 // Every request carries a request ID (the client's X-Request-ID header, or
 // a generated one), echoed on the response and stamped on the JSON access
 // log line written per /artifact request (-access-log; stderr by default).
@@ -73,6 +82,8 @@ func main() {
 	workers := flag.Int("workers", 0, "resident worker pool width shared by all requests (0 = one per CPU)")
 	synthOn := flag.Bool("synth", true, "synthesize cold traces directly from schedule math instead of recording on the goroutine fabric")
 	verifySynth := flag.Bool("verify-synth", false, "record every synthesized trace on the fabric too and fail on any encoded-byte difference")
+	maxFlights := flag.Int("max-flights", 0, "max concurrent non-follower renders before new flights queue (0 = twice the pool width, min 4)")
+	queueBudget := flag.Int("queue-budget", 0, "max flights waiting for a render slot before further ones are shed with 429 (0 = max-flights)")
 	flag.Parse()
 
 	logDst, logClose, err := openAccessLog(*accessLog)
@@ -89,6 +100,8 @@ func main() {
 		DisableSynth: !*synthOn,
 		VerifySynth:  *verifySynth,
 		AccessLog:    logDst,
+		MaxFlights:   *maxFlights,
+		QueueBudget:  *queueBudget,
 	})
 	if err != nil {
 		log.Fatalf("binebenchd: %v", err)

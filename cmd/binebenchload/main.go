@@ -1,0 +1,393 @@
+// Command binebenchload is the load/soak harness for binebenchd: it drives
+// the artifact endpoint with concurrent clients issuing a mixed
+// experiment/full/systems workload, optionally ramping concurrency past the
+// daemon's flight budget and aborting a fraction of requests mid-stream (a
+// client-disconnect storm), and reports what came back — request and shed
+// counts, latency quantiles, Retry-After behavior, bytes — as a JSON
+// document (BENCH_serve.json) CI tracks next to BENCH_pipeline.json.
+//
+// The driver is intentionally closed-loop: each client issues its next
+// request as soon as the previous one finishes, so offered load scales with
+// concurrency and the daemon's admission control (429 + Retry-After), not
+// the driver, is what bounds the work. Shed responses are successes from the
+// harness's point of view — they are the behavior under test — and are
+// counted separately from transport errors and 5xx.
+//
+// Usage:
+//
+//	binebenchload -addr http://localhost:8080 -duration 10s -clients 8
+//	binebenchload -clients 2 -max-clients 16 -ramp 5s -abort-rate 0.2
+//	binebenchload -duration 30s -require-sheds -fail-on-5xx -out BENCH_serve.json
+//
+// Exit status: 0 on a completed run, 1 on setup/usage errors, 2 when a
+// -require-sheds or -fail-on-5xx assertion fails.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "base URL of the binebenchd instance under load")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	clients := flag.Int("clients", 4, "initial concurrent clients")
+	maxClients := flag.Int("max-clients", 0, "final concurrent clients after the ramp (0 = no ramp, stay at -clients)")
+	ramp := flag.Duration("ramp", 0, "time over which to ramp from -clients to -max-clients (0 = all at once)")
+	abortRate := flag.Float64("abort-rate", 0, "fraction of requests cancelled mid-stream (client disconnect storm), in [0,1]")
+	fullRate := flag.Float64("full-rate", 0, "fraction of requests asking for full-scale artifacts (?full=true)")
+	allRate := flag.Float64("all-rate", 0.1, "fraction of requests asking for the systems-selected aggregate (/artifact/all?systems=...)")
+	seed := flag.Int64("seed", 1, "pseudo-random seed for the traffic mix")
+	out := flag.String("out", "BENCH_serve.json", "where to write the JSON report (empty = stdout only)")
+	requireSheds := flag.Bool("require-sheds", false, "exit 2 unless at least one 429 carrying Retry-After was observed")
+	failOn5xx := flag.Bool("fail-on-5xx", false, "exit 2 if any 5xx response was observed")
+	flag.Parse()
+
+	if *maxClients < *clients {
+		*maxClients = *clients
+	}
+	if *abortRate < 0 || *abortRate > 1 {
+		log.Fatal("binebenchload: -abort-rate must be in [0,1]")
+	}
+
+	// The experiment list comes from the daemon itself (/statsz), so the mix
+	// tracks the repo's experiment graph instead of a hard-coded copy.
+	experiments, err := fetchExperiments(*addr)
+	if err != nil {
+		log.Fatalf("binebenchload: %v", err)
+	}
+
+	rep := newReport()
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for i := 0; i < *maxClients; i++ {
+		// Clients beyond the initial set start staggered across the ramp.
+		var delay time.Duration
+		if i >= *clients && *maxClients > *clients {
+			delay = *ramp * time.Duration(i-*clients+1) / time.Duration(*maxClients-*clients)
+		}
+		wg.Add(1)
+		go func(id int, delay time.Duration) {
+			defer wg.Done()
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return
+			}
+			// Per-client RNG: deterministic under -seed, no lock contention.
+			rng := rand.New(rand.NewSource(*seed + int64(id)))
+			c := &client{
+				base: *addr, rng: rng, rep: rep,
+				experiments: experiments,
+				abortRate:   *abortRate, fullRate: *fullRate, allRate: *allRate,
+			}
+			for ctx.Err() == nil {
+				c.one(ctx)
+			}
+		}(i, delay)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	doc := rep.document(config{
+		Addr: *addr, DurationSeconds: duration.Seconds(),
+		Clients: *clients, MaxClients: *maxClients, RampSeconds: ramp.Seconds(),
+		AbortRate: *abortRate, FullRate: *fullRate, AllRate: *allRate, Seed: *seed,
+	}, elapsed)
+	doc.Server = fetchServerStats(*addr)
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("binebenchload: %v", err)
+	}
+	buf = append(buf, '\n')
+	os.Stdout.Write(buf)
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatalf("binebenchload: %v", err)
+		}
+	}
+
+	if *requireSheds && doc.ShedWithRetryAfter == 0 {
+		log.Print("binebenchload: FAIL: no 429 with Retry-After observed (admission control never shed)")
+		os.Exit(2)
+	}
+	if *failOn5xx && doc.Status5xx > 0 {
+		log.Printf("binebenchload: FAIL: %d 5xx responses observed", doc.Status5xx)
+		os.Exit(2)
+	}
+}
+
+// client is one closed-loop load generator.
+type client struct {
+	base        string
+	rng         *rand.Rand
+	rep         *report
+	experiments []string
+	abortRate   float64
+	fullRate    float64
+	allRate     float64
+}
+
+// one issues a single request from the mix and records its outcome.
+func (c *client) one(ctx context.Context) {
+	path := c.pick()
+	abort := c.rng.Float64() < c.abortRate
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(reqCtx, "GET", c.base+path, nil)
+	if err != nil {
+		c.rep.record(outcome{err: true}, time.Since(t0))
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // run deadline, not a server failure
+		}
+		c.rep.record(outcome{err: true}, time.Since(t0))
+		return
+	}
+	defer resp.Body.Close()
+
+	o := outcome{status: resp.StatusCode}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			o.retryAfter = ra
+		}
+		io.Copy(io.Discard, resp.Body)
+		c.rep.record(o, time.Since(t0))
+		return
+	}
+	if abort {
+		// The disconnect storm: take the first chunk, then hang up.
+		io.CopyN(io.Discard, resp.Body, 512)
+		cancel()
+		o.aborted = true
+		c.rep.record(o, time.Since(t0))
+		return
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	o.bytes = n
+	if err != nil && ctx.Err() == nil {
+		o.err = true
+	}
+	c.rep.record(o, time.Since(t0))
+}
+
+// pick draws the next request path from the traffic mix.
+func (c *client) pick() string {
+	r := c.rng.Float64()
+	switch {
+	case r < c.allRate:
+		return "/artifact/all?systems=misc"
+	case r < c.allRate+c.fullRate:
+		return "/artifact/" + c.experiments[c.rng.Intn(len(c.experiments))] + "?full=true"
+	default:
+		return "/artifact/" + c.experiments[c.rng.Intn(len(c.experiments))]
+	}
+}
+
+type outcome struct {
+	status     int
+	bytes      int64
+	retryAfter int
+	aborted    bool
+	err        bool
+}
+
+// report accumulates outcomes across clients.
+type report struct {
+	mu        sync.Mutex
+	total     int
+	ok        int
+	shed      int
+	shedRA    int
+	aborted   int
+	errs      int
+	s5xx      int
+	other     map[string]int
+	bytes     int64
+	okLat     []float64 // full successful responses only
+	shedLat   []float64
+	minRA     int
+	maxRA     int
+	retryFreq int // sheds carrying a parseable Retry-After
+}
+
+func newReport() *report { return &report{other: map[string]int{}} }
+
+func (r *report) record(o outcome, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	switch {
+	case o.err:
+		r.errs = r.errs + 1
+	case o.status == http.StatusTooManyRequests:
+		r.shed++
+		r.shedLat = append(r.shedLat, d.Seconds())
+		if o.retryAfter > 0 {
+			r.shedRA++
+			if r.minRA == 0 || o.retryAfter < r.minRA {
+				r.minRA = o.retryAfter
+			}
+			if o.retryAfter > r.maxRA {
+				r.maxRA = o.retryAfter
+			}
+		}
+	case o.aborted:
+		r.aborted++
+	case o.status == http.StatusOK:
+		r.ok++
+		r.bytes += o.bytes
+		r.okLat = append(r.okLat, d.Seconds())
+	default:
+		if o.status >= 500 {
+			r.s5xx++
+		}
+		r.other[strconv.Itoa(o.status)]++
+	}
+}
+
+type config struct {
+	Addr            string  `json:"addr"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Clients         int     `json:"clients"`
+	MaxClients      int     `json:"max_clients"`
+	RampSeconds     float64 `json:"ramp_seconds"`
+	AbortRate       float64 `json:"abort_rate"`
+	FullRate        float64 `json:"full_rate"`
+	AllRate         float64 `json:"all_rate"`
+	Seed            int64   `json:"seed"`
+}
+
+type quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// document is the BENCH_serve.json shape.
+type document struct {
+	Config             config         `json:"config"`
+	ElapsedSeconds     float64        `json:"elapsed_seconds"`
+	Requests           int            `json:"requests"`
+	OK                 int            `json:"ok"`
+	Shed               int            `json:"shed"`
+	ShedWithRetryAfter int            `json:"shed_with_retry_after"`
+	Aborted            int            `json:"aborted"`
+	Errors             int            `json:"errors"`
+	Status5xx          int            `json:"status_5xx"`
+	OtherStatus        map[string]int `json:"other_status,omitempty"`
+	Bytes              int64          `json:"bytes"`
+	ThroughputRPS      float64        `json:"throughput_rps"`
+	OKLatencySeconds   *quantiles     `json:"ok_latency_seconds,omitempty"`
+	ShedLatencySeconds *quantiles     `json:"shed_latency_seconds,omitempty"`
+	RetryAfterMin      int            `json:"retry_after_min,omitempty"`
+	RetryAfterMax      int            `json:"retry_after_max,omitempty"`
+	// Server embeds the daemon's own /statsz admission and cache sections at
+	// the end of the run, so the report pairs the client-side view with the
+	// server-side counters.
+	Server map[string]json.RawMessage `json:"server,omitempty"`
+}
+
+func (r *report) document(cfg config, elapsed time.Duration) document {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	doc := document{
+		Config:             cfg,
+		ElapsedSeconds:     elapsed.Seconds(),
+		Requests:           r.total,
+		OK:                 r.ok,
+		Shed:               r.shed,
+		ShedWithRetryAfter: r.shedRA,
+		Aborted:            r.aborted,
+		Errors:             r.errs,
+		Status5xx:          r.s5xx,
+		Bytes:              r.bytes,
+		RetryAfterMin:      r.minRA,
+		RetryAfterMax:      r.maxRA,
+	}
+	if len(r.other) > 0 {
+		doc.OtherStatus = r.other
+	}
+	if elapsed > 0 {
+		doc.ThroughputRPS = float64(r.total) / elapsed.Seconds()
+	}
+	doc.OKLatencySeconds = summarize(r.okLat)
+	doc.ShedLatencySeconds = summarize(r.shedLat)
+	return doc
+}
+
+// summarize computes exact order-statistic quantiles over the recorded
+// latencies — the sample fits in memory, so no histogram approximation.
+func summarize(lat []float64) *quantiles {
+	if len(lat) == 0 {
+		return nil
+	}
+	sort.Float64s(lat)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	return &quantiles{P50: at(0.50), P90: at(0.90), P95: at(0.95), P99: at(0.99), Max: lat[len(lat)-1]}
+}
+
+// fetchExperiments asks the daemon's /statsz for the valid experiment names.
+func fetchExperiments(addr string) ([]string, error) {
+	resp, err := http.Get(addr + "/statsz")
+	if err != nil {
+		return nil, fmt.Errorf("fetching /statsz: %w", err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Experiments []string `json:"experiments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decoding /statsz: %w", err)
+	}
+	if len(st.Experiments) == 0 {
+		return nil, fmt.Errorf("daemon at %s reports no experiments", addr)
+	}
+	return st.Experiments, nil
+}
+
+// fetchServerStats grabs the daemon's post-run admission and cache counters;
+// best-effort — a report without them is still a report.
+func fetchServerStats(addr string) map[string]json.RawMessage {
+	resp, err := http.Get(addr + "/statsz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var full map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&full); err != nil {
+		return nil
+	}
+	keep := map[string]json.RawMessage{}
+	for _, k := range []string{"admission", "cache", "pool", "requests", "renders", "dedup_joins", "failures"} {
+		if v, ok := full[k]; ok {
+			keep[k] = v
+		}
+	}
+	return keep
+}

@@ -100,6 +100,15 @@ func SetTraceStore(dir string) error {
 	return nil
 }
 
+// SetTraceStoreProbeInterval tunes how often a degraded disk tier re-probes
+// its directory for writability (tracestore.Store.SetProbeInterval). A
+// no-op without a configured store.
+func SetTraceStoreProbeInterval(d time.Duration) {
+	if s := store.Load(); s != nil {
+		s.SetProbeInterval(d)
+	}
+}
+
 // PrewarmTraceStore decode-validates every file of the configured disk tier
 // (tracestore.Store.Prewarm): valid traces are paged in, corrupt ones are
 // evicted, and the returned stats report the store's footprint — what a
@@ -141,13 +150,23 @@ type CacheStats struct {
 	// traces and their columnar footprint (fabric.Trace.MemBytes) — the
 	// number to watch when sizing hosts for full-scale suites.
 	CachedTraces, CachedBytes uint64
+	// DiskSaveSkips counts write-behind saves dropped while the disk tier
+	// was degraded; StoreDegraded and StoreDegradedReason report that state
+	// (read-only dir, full disk — serving continues from memory/synth).
+	DiskSaveSkips       uint64 `json:",omitempty"`
+	StoreDegraded       bool   `json:",omitempty"`
+	StoreDegradedReason string `json:",omitempty"`
 }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("trace cache: %d memory hits, %d disk hits, %d disk misses, %d synthesized (%d verified, %d fallbacks), %d recordings, %d disk saves, %d corrupt evictions; %d resident traces, %.1f MiB columnar",
+	out := fmt.Sprintf("trace cache: %d memory hits, %d disk hits, %d disk misses, %d synthesized (%d verified, %d fallbacks), %d recordings, %d disk saves, %d corrupt evictions; %d resident traces, %.1f MiB columnar",
 		s.MemoryHits, s.DiskHits, s.DiskMisses, s.SynthHits, s.SynthVerified, s.SynthFallbacks,
 		s.Records, s.DiskSaves, s.CorruptEvictions,
 		s.CachedTraces, float64(s.CachedBytes)/(1<<20))
+	if s.StoreDegraded {
+		out += fmt.Sprintf("; store DEGRADED (%s, %d saves skipped)", s.StoreDegradedReason, s.DiskSaveSkips)
+	}
+	return out
 }
 
 // TraceCacheStats returns the counters accumulated since the last
@@ -169,6 +188,10 @@ func TraceCacheStats() CacheStats {
 		CorruptEvictions: ds.CorruptEvictions,
 		CachedTraces:     cacheCounters.cachedTraces.Load(),
 		CachedBytes:      cacheCounters.cachedBytes.Load(),
+
+		DiskSaveSkips:       ds.SaveSkips,
+		StoreDegraded:       ds.Degraded,
+		StoreDegradedReason: ds.DegradedReason,
 	}
 }
 

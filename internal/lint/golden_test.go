@@ -159,6 +159,12 @@ func TestAtomicMixGolden(t *testing.T) {
 	runGolden(t, AtomicMix, "testdata/src/atomicmix")
 }
 
+func TestStorePermGolden(t *testing.T) {
+	// Inside the store package the permission invariant binds; outside it
+	// does not.
+	runGolden(t, StorePerm, "testdata/src/storeperm/internal/tracestore", "testdata/src/storeperm/outside")
+}
+
 // TestCleanPackageNoFindings pins the zero-exit contract: a conforming
 // package produces no findings under the full suite.
 func TestCleanPackageNoFindings(t *testing.T) {

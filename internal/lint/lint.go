@@ -76,7 +76,7 @@ type Finding struct {
 
 // Analyzers returns the full rule suite in catalog order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{GoArg, CtxFlow, StageVocab, DetRange, AtomicMix}
+	return []*Analyzer{GoArg, CtxFlow, StageVocab, DetRange, AtomicMix, StorePerm}
 }
 
 // ignoreDirective is one parsed //binelint:ignore comment.

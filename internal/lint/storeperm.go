@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// StorePerm enforces the shared-store permission invariant in
+// internal/tracestore: 0644 for files, 0755 for directories. The store
+// directory is shared across service replicas, users, and CI cache restores
+// — binebenchd's docs promise traces are written world-readable — and a
+// single call site creating a file 0600 (os.CreateTemp's default, which is
+// why Save chmods) or a directory 0700 silently produces a store only its
+// creator can read: every other replica's Load then misses, re-records, and
+// re-saves the same traces forever. The failure is invisible on a
+// single-user dev box and only bites in shared deployments, which is
+// exactly the kind of invariant a compile-time check should carry. The rule
+// inspects the permission argument of os.OpenFile / os.WriteFile /
+// os.MkdirAll / os.Chmod and the (*os.File).Chmod method inside
+// internal/tracestore; non-constant permissions can't be verified and are
+// left alone.
+var StorePerm = &Analyzer{
+	Name: "storeperm",
+	Doc:  "internal/tracestore must create files 0644 and directories 0755 (the shared-store invariant)",
+	Run:  runStorePerm,
+}
+
+// storePermArg maps each os entry point that takes a permission to the
+// argument position of that permission (package-function form).
+var storePermArg = map[string]int{
+	"OpenFile":  2,
+	"WriteFile": 2,
+	"MkdirAll":  1,
+	"Chmod":     1,
+}
+
+// storePermAllowed are the only permission bits the shared store may use:
+// world-readable files, world-listable directories.
+var storePermAllowed = map[int64]bool{0o644: true, 0o755: true}
+
+func runStorePerm(pass *Pass) {
+	if !pathSegments(pass.Pkg.Path, "internal", "tracestore") {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			idx, ok := storePermArg[fn.Name()]
+			if !ok {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				idx = 0 // method form: (*os.File).Chmod(mode)
+			}
+			if idx >= len(call.Args) {
+				return true
+			}
+			arg := call.Args[idx]
+			tv, ok := info.Types[arg]
+			if !ok || tv.Value == nil {
+				return true // not a compile-time constant: can't verify, don't guess
+			}
+			perm, ok := constant.Int64Val(constant.ToInt(tv.Value))
+			if !ok || storePermAllowed[perm] {
+				return true
+			}
+			pass.Reportf(arg.Pos(),
+				"permission %O passed to os.%s in internal/tracestore; the shared store invariant is 0644 for files and 0755 for directories, so replicas, other users, and CI cache restores can read each other's traces",
+				perm, fn.Name())
+			return true
+		})
+	}
+}

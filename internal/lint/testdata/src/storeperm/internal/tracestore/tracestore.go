@@ -1,0 +1,38 @@
+// Golden package for the storeperm analyzer: the import path ends in
+// internal/tracestore, so every permission-taking os call is checked against
+// the shared-store invariant (0644 files, 0755 directories).
+package tracestore
+
+import "os"
+
+func create(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil { // fine: the directory invariant
+		return err
+	}
+	return os.MkdirAll(dir, 0o700) // want `permission 0o700 passed to os\.MkdirAll`
+}
+
+func write(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // fine: the file invariant
+		return err
+	}
+	return os.WriteFile(path, data, 0o600) // want `permission 0o600 passed to os\.WriteFile`
+}
+
+func open(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o640) // want `permission 0o640 passed to os\.OpenFile`
+}
+
+func chmod(path string, f *os.File) error {
+	if err := f.Chmod(0o644); err != nil { // fine: Save's world-readable chmod
+		return err
+	}
+	if err := f.Chmod(0o600); err != nil { // want `permission 0o600 passed to os\.Chmod`
+		return err
+	}
+	return os.Chmod(path, 0o777) // want `permission 0o777 passed to os\.Chmod`
+}
+
+func dynamic(path string, mode os.FileMode) error {
+	return os.Chmod(path, mode) // fine: not a compile-time constant, can't verify
+}

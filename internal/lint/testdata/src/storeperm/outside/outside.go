@@ -1,0 +1,9 @@
+// Golden package for the storeperm analyzer: not under internal/tracestore,
+// so permission choices are this package's own business.
+package outside
+
+import "os"
+
+func privateFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600) // fine: the invariant only binds the shared store
+}

@@ -269,16 +269,30 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the total of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// bucketCounts snapshots the per-bucket counts (not cumulative) — the raw
+// material Window deltas against for recent-quantile estimates.
+func (h *Histogram) bucketCounts() []uint64 {
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts
+}
+
 // Quantile estimates the q-th quantile (0 < q <= 1) from the bucket counts:
 // linear interpolation between the crossing bucket's bounds, the highest
 // finite bound for observations in the +Inf bucket, and 0 for an empty
 // histogram.
 func (h *Histogram) Quantile(q float64) float64 {
-	counts := make([]uint64, len(h.counts))
+	return quantileOver(h.bounds, h.bucketCounts(), q)
+}
+
+// quantileOver is the interpolation core shared by lifetime and windowed
+// quantiles: counts are per-bucket (bounds plus a trailing +Inf bucket).
+func quantileOver(bounds []float64, counts []uint64, q float64) float64 {
 	var total uint64
-	for i := range h.counts {
-		counts[i] = h.counts[i].Load()
-		total += counts[i]
+	for _, c := range counts {
+		total += c
 	}
 	if total == 0 {
 		return 0
@@ -291,16 +305,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if cum < rank || c == 0 {
 			continue
 		}
-		if i == len(h.bounds) { // +Inf bucket: clamp to the last finite bound
-			return h.bounds[len(h.bounds)-1]
+		if i == len(bounds) { // +Inf bucket: clamp to the last finite bound
+			return bounds[len(bounds)-1]
 		}
 		lo := 0.0
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = bounds[i-1]
 		}
-		return lo + (h.bounds[i]-lo)*(rank-prev)/float64(c)
+		return lo + (bounds[i]-lo)*(rank-prev)/float64(c)
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // HistogramSummary is the digest of one histogram: count, sum, and the

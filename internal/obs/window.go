@@ -1,0 +1,81 @@
+// Recent-window quantile estimation over a Histogram. The registry's
+// histograms are cumulative for the process lifetime — right for dashboards,
+// wrong for control decisions like "how long should a shed client wait",
+// which must track what latency looks like *now*, not averaged over every
+// request since startup. Window layers recency on top without touching the
+// hot observation path: it snapshots the bucket counts at epoch boundaries
+// and estimates quantiles from the delta.
+
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Window estimates quantiles over a Histogram's recent observations. It
+// keeps bucket-count snapshots taken at most every interval; Quantile reads
+// the delta between the live counts and the snapshot from the previous
+// epoch, so the estimate covers between one and two intervals of history.
+// With no observations in that window (startup, or a long idle stretch) it
+// falls back to the lifetime quantile — a stale estimate beats none.
+//
+// The observation path is untouched: writers keep hitting the Histogram's
+// lock-free atomics, and only Quantile callers pay for the snapshot.
+type Window struct {
+	h        *Histogram
+	interval time.Duration
+	now      func() time.Time // clock seam for tests
+
+	mu    sync.Mutex
+	epoch time.Time
+	base  []uint64 // live counts at the current epoch's start
+	prev  []uint64 // live counts at the previous epoch's start (nil: none)
+}
+
+// NewWindow returns a recency window over h. interval <= 0 selects 30s —
+// long enough to smooth render-length variance, short enough that overload
+// advice (Retry-After) tracks the current load shape.
+func NewWindow(h *Histogram, interval time.Duration) *Window {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	return &Window{h: h, interval: interval, now: time.Now}
+}
+
+// Quantile estimates the q-th quantile over the window's recent
+// observations, rotating the epoch snapshots as time passes.
+func (w *Window) Quantile(q float64) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := w.now()
+	if w.base == nil {
+		w.epoch = now
+		w.base = w.h.bucketCounts()
+	} else if elapsed := now.Sub(w.epoch); elapsed >= w.interval {
+		if elapsed >= 2*w.interval {
+			// The previous epoch is ancient history: a delta against it
+			// would smear idle time into the estimate. Start fresh.
+			w.prev = nil
+		} else {
+			w.prev = w.base
+		}
+		w.epoch = now
+		w.base = w.h.bucketCounts()
+	}
+	ref := w.prev
+	if ref == nil {
+		ref = w.base
+	}
+	live := w.h.bucketCounts()
+	delta := make([]uint64, len(live))
+	var total uint64
+	for i := range live {
+		delta[i] = live[i] - ref[i]
+		total += delta[i]
+	}
+	if total == 0 {
+		return w.h.Quantile(q)
+	}
+	return quantileOver(w.h.bounds, delta, q)
+}

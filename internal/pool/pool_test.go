@@ -226,6 +226,32 @@ func TestRunnerStats(t *testing.T) {
 	}
 }
 
+// TestRunnerPressure pins the admission-control contract: Pressure counts
+// queued plus in-flight work, is positive while a batch runs, and returns to
+// zero once the pool drains.
+func TestRunnerPressure(t *testing.T) {
+	r := NewRunner(2)
+	defer r.Close()
+	if p := r.Pressure(); p != 0 {
+		t.Fatalf("idle pressure = %d, want 0", p)
+	}
+	var sawPositive atomic.Bool
+	if err := r.ForEach(20, func(i int) error {
+		if r.Pressure() >= 1 {
+			sawPositive.Store(true)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawPositive.Load() {
+		t.Fatal("pressure never observed positive during a running batch")
+	}
+	if p := r.Pressure(); p != 0 {
+		t.Fatalf("drained pressure = %d, want 0", p)
+	}
+}
+
 // TestForEachCtxPreCancelled pins the cancellation cut-off at both the
 // serial and the pooled width: a context cancelled before the call runs
 // nothing and returns ctx.Err().

@@ -20,6 +20,13 @@ type broadcast struct {
 	// breakdown of the render they joined.
 	trace *obs.Trace
 
+	// refs counts requests attached to the flight and cancel aborts its
+	// render context; both are guarded by the owning flightGroup's mutex,
+	// not b.mu. When the last reader leaves an unfinished flight, the group
+	// cancels it so its cells stop dispatching (see flightGroup.release).
+	refs   int
+	cancel context.CancelFunc
+
 	mu   sync.Mutex
 	cond *sync.Cond
 	buf  []byte
@@ -49,6 +56,13 @@ func (b *broadcast) finish(err error) {
 	b.done, b.err = true, err
 	b.cond.Broadcast()
 	b.mu.Unlock()
+}
+
+// finished reports whether the stream has completed (successfully or not).
+func (b *broadcast) finished() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.done
 }
 
 // wake kicks the condition so readers re-check their contexts; registered
@@ -121,8 +135,12 @@ func (b *broadcast) streamTo(ctx context.Context, w io.Writer) (int64, error) {
 // flightGroup deduplicates identical concurrent requests: all requests
 // sharing a compiled-plan key attach to one in-flight render (singleflight),
 // so a thundering herd of the same artifact executes each schedule once and
-// every caller streams the same bytes.
+// every caller streams the same bytes. When adm is set, brand-new flights
+// pass admission control before (or while queued, before) rendering;
+// followers always attach for free, since joining adds no work.
 type flightGroup struct {
+	adm *admission // nil: every new flight renders immediately
+
 	mu sync.Mutex
 	m  map[string]*broadcast
 	wg sync.WaitGroup
@@ -131,17 +149,40 @@ type flightGroup struct {
 // do returns the broadcast carrying the rendering for key, launching render
 // on a new goroutine when no identical request is in flight. joined reports
 // whether an existing flight was reused — in which case tr (the caller's
-// request trace) is discarded and the broadcast carries the leader's. The
-// render runs to completion even if every reader disconnects — its work
-// warms the shared caches either way.
-func (g *flightGroup) do(key string, tr *obs.Trace, render func(w io.Writer) error) (b *broadcast, joined bool) {
+// request trace) is discarded and the broadcast carries the leader's. shed
+// reports that admission rejected a brand-new flight (b is nil); joins are
+// never shed. The render's context derives from parent (the server
+// lifetime) and is additionally cancelled if every attached reader leaves
+// before the render finishes — abandoned work stops submitting cells
+// instead of warming caches nobody asked for.
+//
+// Every non-shed caller holds a reference on the returned broadcast and
+// must pair it with release(key, b) when done streaming.
+func (g *flightGroup) do(parent context.Context, key string, tr *obs.Trace, render func(ctx context.Context, w io.Writer) error) (b *broadcast, joined, shed bool) {
 	g.mu.Lock()
 	if b, ok := g.m[key]; ok {
+		b.refs++
 		g.mu.Unlock()
-		return b, true
+		return b, true, false
 	}
+	// Admission runs under the group lock so the queue-budget check is
+	// serialized and a herd on one key can never split across decisions.
+	queued := false
+	if g.adm != nil {
+		switch g.adm.decide() {
+		case admitNow:
+		case admitQueue:
+			queued = true
+		case admitShed:
+			g.mu.Unlock()
+			return nil, false, true
+		}
+	}
+	fctx, cancel := context.WithCancel(parent)
 	b = newBroadcast()
 	b.trace = tr
+	b.refs = 1
+	b.cancel = cancel
 	if g.m == nil {
 		g.m = map[string]*broadcast{}
 	}
@@ -150,12 +191,59 @@ func (g *flightGroup) do(key string, tr *obs.Trace, render func(w io.Writer) err
 	g.mu.Unlock()
 	go func() {
 		defer g.wg.Done()
-		b.finish(render(b))
-		g.mu.Lock()
-		delete(g.m, key)
-		g.mu.Unlock()
+		defer cancel()
+		if queued {
+			if err := g.adm.await(fctx); err != nil {
+				// Abandoned (or shut down) while waiting for a token: the
+				// render never ran, so there is no token to release.
+				b.finish(err)
+				g.remove(key, b)
+				return
+			}
+		}
+		if g.adm != nil {
+			defer g.adm.release()
+		}
+		b.finish(render(fctx, b))
+		g.remove(key, b)
 	}()
-	return b, false
+	return b, false, false
+}
+
+// release drops a reader's reference. When the last reader leaves a flight
+// that has not finished, the flight is abandoned: removed from the table
+// (so a retry starts a fresh render) and its context cancelled, which makes
+// ForEachCtx stop dispatching its remaining cells and frees its admission
+// token — the mechanism that lets the pool drain under a client-disconnect
+// storm.
+func (g *flightGroup) release(key string, b *broadcast) {
+	g.mu.Lock()
+	b.refs--
+	abandoned := b.refs == 0 && !b.finished()
+	if abandoned && g.m[key] == b {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	if abandoned {
+		b.cancel()
+	}
+}
+
+// remove deletes the flight from the table if it still owns its key (an
+// abandoned flight may have been replaced by a fresh render already).
+func (g *flightGroup) remove(key string, b *broadcast) {
+	g.mu.Lock()
+	if g.m[key] == b {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+}
+
+// active reports the number of in-table flights (rendering or queued).
+func (g *flightGroup) active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
 }
 
 // wait blocks until every launched render has finished. Flights outlive

@@ -29,7 +29,7 @@ func TestFlightGroupSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			b, joined := g.do("key", obs.NewTrace("t", "key"), func(w io.Writer) error {
+			b, joined, _ := g.do(context.Background(), "key", obs.NewTrace("t", "key"), func(_ context.Context, w io.Writer) error {
 				renders.Add(1)
 				io.WriteString(w, "artifact ")
 				<-release
@@ -71,7 +71,7 @@ func TestFlightGroupSingleflight(t *testing.T) {
 		}
 		runtime.Gosched()
 	}
-	b, joined := g.do("key", obs.NewTrace("t", "key"), func(w io.Writer) error {
+	b, joined, _ := g.do(context.Background(), "key", obs.NewTrace("t", "key"), func(_ context.Context, w io.Writer) error {
 		renders.Add(1)
 		io.WriteString(w, "fresh")
 		return nil
@@ -94,7 +94,7 @@ func TestFlightGroupSingleflight(t *testing.T) {
 func TestBroadcastMidStreamJoin(t *testing.T) {
 	g := &flightGroup{}
 	step := make(chan struct{})
-	b1, joined := g.do("k", obs.NewTrace("t", "k"), func(w io.Writer) error {
+	b1, joined, _ := g.do(context.Background(), "k", obs.NewTrace("t", "k"), func(_ context.Context, w io.Writer) error {
 		io.WriteString(w, "hello ")
 		<-step
 		io.WriteString(w, "world")
@@ -107,7 +107,7 @@ func TestBroadcastMidStreamJoin(t *testing.T) {
 	if err := b1.waitReady(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	b2, joined := g.do("k", obs.NewTrace("t", "k"), func(io.Writer) error {
+	b2, joined, _ := g.do(context.Background(), "k", obs.NewTrace("t", "k"), func(context.Context, io.Writer) error {
 		t.Error("second render started for an in-flight key")
 		return nil
 	})

@@ -66,9 +66,16 @@ func TestReadiness(t *testing.T) {
 	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || body != "ok\n" {
 		t.Fatalf("healthz while prewarming: %d %q", code, body)
 	}
-	code, body := get(t, ts.URL+"/readyz")
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("readyz before prewarm: %d %q, want 503", code, body)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before prewarm: %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("readyz 503 Retry-After = %q, want 1", ra)
 	}
 	if snap := srv.Snapshot(); snap.Ready {
 		t.Fatal("statsz reported ready before the prewarm finished")
@@ -76,7 +83,7 @@ func TestReadiness(t *testing.T) {
 
 	close(gate)
 	srv.Prewarm() // blocks until the background pass completes
-	code, body = get(t, ts.URL+"/readyz")
+	code, body := get(t, ts.URL+"/readyz")
 	if code != http.StatusOK {
 		t.Fatalf("readyz after prewarm: %d %q", code, body)
 	}

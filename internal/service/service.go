@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -75,17 +76,28 @@ type Config struct {
 	// request ID, plan key, singleflight role, status, bytes, duration, and
 	// the request trace's stage breakdown. Writes are serialized.
 	AccessLog io.Writer
+	// MaxFlights bounds concurrent non-follower renders (<= 0: twice the
+	// pool width, at least 4). Followers joining an in-flight render never
+	// count against it.
+	MaxFlights int
+	// QueueBudget bounds how many new flights may wait for a render slot
+	// before further ones are shed with 429 (<= 0: MaxFlights). Size it off
+	// the pool's queue-depth/in-flight gauges: once the pool holds several
+	// batches of backlog, queueing more flights only grows latency.
+	QueueBudget int
 }
 
 // Server is the artifact service: a resident worker pool, the singleflight
 // table, the trace log behind /tracez, and the request counters behind
 // /statsz.
 type Server struct {
-	runner  *pool.Runner
-	flights flightGroup
-	start   time.Time
-	ctx     context.Context // bounds cell submission; cancelled by Close
-	cancel  context.CancelFunc
+	runner      *pool.Runner
+	flights     flightGroup
+	adm         *admission
+	serveWindow *obs.Window // recent p95 behind Retry-After
+	start       time.Time
+	ctx         context.Context // bounds cell submission; cancelled by Close
+	cancel      context.CancelFunc
 
 	// prewarm runs on its own goroutine so the listener binds immediately;
 	// the stats fields are written exactly once before prewarmDone closes,
@@ -118,6 +130,7 @@ func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		runner:      pool.NewRunner(cfg.Workers),
+		serveWindow: obs.NewWindow(obsServeSeconds, 30*time.Second),
 		start:       time.Now(),
 		ctx:         ctx,
 		cancel:      cancel,
@@ -125,6 +138,22 @@ func New(cfg Config) (*Server, error) {
 		traces:      obs.NewTraceLog(64),
 		accessLog:   cfg.AccessLog,
 	}
+	maxFlights := cfg.MaxFlights
+	if maxFlights <= 0 {
+		// Two renders per worker keeps the pool fed while one flight is in a
+		// serial (compile/render) phase; the floor of 4 keeps tiny hosts from
+		// serializing a mixed workload entirely.
+		maxFlights = 2 * s.runner.Workers()
+		if maxFlights < 4 {
+			maxFlights = 4
+		}
+	}
+	queueBudget := cfg.QueueBudget
+	if queueBudget <= 0 {
+		queueBudget = maxFlights
+	}
+	s.adm = newAdmission(maxFlights, queueBudget)
+	s.flights.adm = s.adm
 	go func() {
 		defer close(s.prewarmDone)
 		if prewarmGate != nil {
@@ -162,6 +191,12 @@ func (s *Server) registerGauges() {
 		"Cumulative submit-to-start wait across pool cells.", st(func(r pool.RunnerStats) float64 { return r.WaitSeconds }))
 	gauge("binebenchd_pool_busy_seconds",
 		"Cumulative execution time across pool cells.", st(func(r pool.RunnerStats) float64 { return r.BusySeconds }))
+	gauge("binebenchd_flights_active",
+		"Flights in the singleflight table (rendering or queued).", func() float64 { return float64(s.flights.active()) })
+	gauge("binebenchd_flights_inflight",
+		"Renders currently holding an admission token.", func() float64 { return float64(s.adm.inFlight()) })
+	gauge("binebenchd_flights_waiting",
+		"New flights queued for an admission token.", func() float64 { return float64(s.adm.waiting.Load()) })
 	gauge("binebenchd_ready",
 		"1 once the trace-store prewarm has completed.", func() float64 {
 			if s.Ready() {
@@ -332,10 +367,10 @@ func (s *Server) artifact(w http.ResponseWriter, r *http.Request) {
 	// to the flight's wall time. Followers reuse the leader's trace in their
 	// access-log lines; a follower's own trace is simply discarded.
 	reqTrace := obs.NewTrace(reqID, key)
-	b, joined := s.flights.do(key, reqTrace, func(fw io.Writer) error {
+	b, joined, shed := s.flights.do(s.ctx, key, reqTrace, func(fctx context.Context, fw io.Writer) error {
 		s.renders.Add(1)
 		obsRenders.Inc()
-		ctx := obs.WithTrace(s.ctx, reqTrace)
+		ctx := obs.WithTrace(fctx, reqTrace)
 		defer func() {
 			reqTrace.Finish()
 			s.traces.Record(reqTrace)
@@ -354,6 +389,20 @@ func (s *Server) artifact(w http.ResponseWriter, r *http.Request) {
 		}
 		return e.Run(ctx, fw, s.runner, nil)
 	})
+	if shed {
+		status := http.StatusTooManyRequests
+		retry := s.retryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		http.Error(w, "overloaded: flight budget and wait queue are full, retry later", status)
+		obsRequests(status).Inc()
+		s.logAccess(accessEntry{Time: t0.UTC(), RequestID: reqID, Path: r.URL.Path,
+			PlanKey: key, Role: "shed", Status: status,
+			DurMS: float64(time.Since(t0).Microseconds()) / 1e3})
+		return
+	}
+	// This request holds a reference on the flight until it stops streaming;
+	// the last reference leaving an unfinished flight cancels its render.
+	defer s.flights.release(key, b)
 	role := "leader"
 	if joined {
 		s.joins.Add(1)
@@ -408,9 +457,33 @@ func (s *Server) artifact(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// retryAfter estimates how long a shed client should back off, in whole
+// seconds: recent p95 serve latency scaled by the caller's notional queue
+// position ((waiting+1) flights ahead, drained maxFlights at a time),
+// clamped to [1, 60]. With no recent latency signal (cold start) it answers
+// 1 — an optimistic retry beats a made-up wait.
+func (s *Server) retryAfter() int {
+	p95 := s.serveWindow.Quantile(0.95)
+	if p95 <= 0 {
+		return 1
+	}
+	est := p95 * float64(s.adm.waiting.Load()+1) / float64(s.adm.maxFlights)
+	secs := int(math.Ceil(est))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
 func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if !s.Ready() {
+		// Prewarm is typically sub-second; tell probes when to come back
+		// instead of leaving the retry cadence to client guesswork.
+		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "prewarming trace store\n")
 		return
@@ -459,11 +532,28 @@ type Stats struct {
 	BytesServed uint64 `json:"bytes_served"`
 	// Pool is the resident Runner's live job-flow view.
 	Pool pool.RunnerStats `json:"pool"`
+	// Admission is the flight-budget view: configuration, the decision
+	// counters, and the live queue/render occupancy.
+	Admission AdmissionStats `json:"admission"`
 	// Prewarm reports the startup store validation (zero until Ready); Cache
 	// the live trace cache counters (including the resident columnar
 	// footprint).
 	Prewarm tracestore.PrewarmStats `json:"prewarm"`
 	Cache   harness.CacheStats      `json:"cache"`
+}
+
+// AdmissionStats is the /statsz view of the flight budget. Shed requests
+// were answered 429 with a Retry-After; Queued counts flights that waited
+// for a token (whether or not they eventually rendered); Waiting and
+// InFlight are the live occupancy at snapshot time.
+type AdmissionStats struct {
+	MaxFlights  int    `json:"max_flights"`
+	QueueBudget int    `json:"queue_budget"`
+	Admitted    uint64 `json:"admitted"`
+	Queued      uint64 `json:"queued"`
+	Shed        uint64 `json:"shed"`
+	Waiting     int64  `json:"waiting"`
+	InFlight    int    `json:"in_flight"`
 }
 
 // Snapshot captures the live counters. The prewarm fields are read only
@@ -480,7 +570,16 @@ func (s *Server) Snapshot() Stats {
 		Failures:      s.failures.Load(),
 		BytesServed:   s.bytesOut.Load(),
 		Pool:          s.runner.Stats(),
-		Cache:         harness.TraceCacheStats(),
+		Admission: AdmissionStats{
+			MaxFlights:  s.adm.maxFlights,
+			QueueBudget: s.adm.queueBudget,
+			Admitted:    s.adm.admitted.Load(),
+			Queued:      s.adm.queued.Load(),
+			Shed:        s.adm.shed.Load(),
+			Waiting:     s.adm.waiting.Load(),
+			InFlight:    s.adm.inFlight(),
+		},
+		Cache: harness.TraceCacheStats(),
 	}
 	select {
 	case <-s.prewarmDone:

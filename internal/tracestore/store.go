@@ -99,6 +99,12 @@ type Stats struct {
 	Saves uint64
 	// CorruptEvictions counts files that failed to decode and were removed.
 	CorruptEvictions uint64
+	// SaveSkips counts saves dropped while the store was degraded.
+	SaveSkips uint64
+	// Degraded reports the store is serving read-only after an environmental
+	// write failure (see degrade.go); DegradedReason is the triggering error.
+	Degraded       bool
+	DegradedReason string
 }
 
 // Store is a directory of encoded traces. The zero value is a disabled
@@ -108,6 +114,14 @@ type Store struct {
 	dir string
 
 	hits, misses, saves, corrupt atomic.Uint64
+
+	// Degraded read-only mode (degrade.go): flipped by environmental write
+	// failures, cleared by a successful recovery probe.
+	saveSkips      atomic.Uint64
+	degraded       atomic.Bool
+	degradedReason atomic.Value // string: the error that degraded the store
+	lastProbe      atomic.Int64 // unixnano of the last recovery probe
+	probeEvery     atomic.Int64 // nanoseconds between recovery probes
 }
 
 // Open returns a store rooted at dir, creating the directory if needed.
@@ -118,7 +132,9 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tracestore: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	s.probeEvery.Store(int64(5 * time.Second))
+	return s, nil
 }
 
 // Enabled reports whether the store is backed by a directory.
@@ -214,44 +230,77 @@ func (s *Store) evict(path string, fi os.FileInfo) {
 // corrupt file. The origin lands in a best-effort sidecar after the rename
 // — provenance is advisory, never load-bearing, so a lost sidecar merely
 // reads back as OriginUnknown.
+// A degraded store (read-only dir, full disk — see degrade.go) skips the
+// write entirely, counting it, and returns nil: the store is a regenerable
+// cache tier, so an unwritable directory must never fail the caller. Each
+// skip first gives the rate-limited recovery probe a chance to restore
+// write-through mode.
 func (s *Store) Save(k Key, tr *fabric.Trace, origin Origin) error {
 	if !s.Enabled() {
 		return nil
 	}
-	defer obsSaveSeconds.ObserveSince(time.Now())
-	tmp, err := os.CreateTemp(s.dir, "."+k.addr()+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("tracestore: %w", err)
+	if s.degraded.Load() && !s.maybeProbe() {
+		s.saveSkips.Add(1)
+		obsSaveSkips.Inc()
+		return nil
 	}
+	defer obsSaveSeconds.ObserveSince(time.Now())
+	n, err := s.write(k, tr, origin)
+	if err != nil {
+		if degradingErr(err) {
+			s.enterDegraded(err)
+		}
+		return err
+	}
+	s.saves.Add(1)
+	obsSaves.Inc()
+	obsSaveBytes.Add(uint64(n))
+	return nil
+}
+
+// write performs Save's temp-file + rename sequence and returns the encoded
+// byte count. Every step runs through the fault seam (degrade.go) so tests
+// can fail any of them deterministically.
+func (s *Store) write(k Key, tr *fabric.Trace, origin Origin) (int64, error) {
+	var tmp *os.File
+	if err := faulted(FaultCreateTemp, func() (err error) {
+		tmp, err = os.CreateTemp(s.dir, "."+k.addr()+".tmp-*")
+		return err
+	}); err != nil {
+		return 0, fmt.Errorf("tracestore: %w", err)
+	}
+	// One cleanup covers every failure below: whichever step fails, the temp
+	// file must not outlive the call — a degraded shared directory must not
+	// accumulate .tmp garbage on top of its real problem. The double Close
+	// after a successful close is a harmless no-op error.
+	committed := false
+	defer func() {
+		if !committed {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
 	cw := &countingWriter{w: tmp}
-	if err := fabric.EncodeTrace(cw, tr); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("tracestore: encoding %s: %w", k.addr(), err)
+	if err := faulted(FaultEncode, func() error { return fabric.EncodeTrace(cw, tr) }); err != nil {
+		return 0, fmt.Errorf("tracestore: encoding %s: %w", k.addr(), err)
 	}
 	// CreateTemp opens the file 0600; a rename would carry that mode into
 	// the store, so directories shared across users or service replicas
 	// (and CI cache restores) would hold traces other readers cannot open.
-	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("tracestore: %w", err)
+	if err := faulted(FaultChmod, func() error { return tmp.Chmod(0o644) }); err != nil {
+		return 0, fmt.Errorf("tracestore: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("tracestore: %w", err)
+	if err := faulted(FaultClose, tmp.Close); err != nil {
+		return 0, fmt.Errorf("tracestore: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("tracestore: %w", err)
+	if err := faulted(FaultRename, func() error { return os.Rename(tmp.Name(), s.path(k)) }); err != nil {
+		return 0, fmt.Errorf("tracestore: %w", err)
 	}
+	committed = true
 	if origin != OriginUnknown {
 		_ = os.WriteFile(originPath(s.path(k)), []byte(origin), 0o644)
 	}
-	s.saves.Add(1)
-	obsSaves.Inc()
-	obsSaveBytes.Add(uint64(cw.n))
-	return nil
+	return cw.n, nil
 }
 
 // countingWriter counts the encoded bytes flowing into a Save's temp file
@@ -316,8 +365,17 @@ func (s *Store) Prewarm() (PrewarmStats, error) {
 	}
 	// ReadDir, not filepath.Glob: a store path containing glob
 	// metacharacters ('[', '?', '*') would corrupt the pattern.
-	entries, err := os.ReadDir(s.dir)
-	if err != nil {
+	var entries []os.DirEntry
+	if err := faulted(FaultReadDir, func() (err error) {
+		entries, err = os.ReadDir(s.dir)
+		return err
+	}); err != nil {
+		// An unreadable directory is the same environmental class as an
+		// unwritable one: degrade instead of rediscovering the failure on
+		// every write-behind save.
+		if degradingErr(err) {
+			s.enterDegraded(err)
+		}
 		return ps, fmt.Errorf("tracestore: %w", err)
 	}
 	for _, entry := range entries {
@@ -365,10 +423,14 @@ func (s *Store) Stats() Stats {
 	if s == nil {
 		return Stats{}
 	}
+	degraded, reason := s.Degraded()
 	return Stats{
 		Hits:             s.hits.Load(),
 		Misses:           s.misses.Load(),
 		Saves:            s.saves.Load(),
 		CorruptEvictions: s.corrupt.Load(),
+		SaveSkips:        s.saveSkips.Load(),
+		Degraded:         degraded,
+		DegradedReason:   reason,
 	}
 }
