@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // AtomicMix enforces all-or-nothing atomicity per struct field: a field
@@ -75,10 +76,20 @@ func runAtomicMix(pass *Pass) {
 	// Pass B: any other selector resolving to one of those fields is a bare
 	// access. Taking the address for another atomic call was collected in
 	// pass A; everything else — reads, writes, &x.f handed elsewhere — mixes.
+	// A parent stack classifies each bare access so the mechanical ones
+	// carry a suggested fix: plain reads become atomic.Load*, sole-target
+	// stores become atomic.Store*, x.f += d / x.f++ become atomic.Add*.
+	// Compound shapes (&x.f escaping, multi-assignments) stay fix-less.
 	for _, pkg := range pass.Pkgs {
 		info := pkg.Info
 		for _, f := range pkg.Files {
+			var stack []ast.Node
 			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				stack = append(stack, n)
 				sel, ok := n.(*ast.SelectorExpr)
 				if !ok || atomicSites[sel] {
 					return true
@@ -91,13 +102,120 @@ func runAtomicMix(pass *Pass) {
 				if !ok {
 					return true
 				}
-				pass.Reportf(sel.Pos(),
+				pass.ReportfFix(sel.Pos(), atomicFix(f, info, stack, sel, v),
 					"field %s is accessed atomically at %s but non-atomically here; every access must go through sync/atomic (or migrate the field to an atomic.%s-style type)",
 					v.Name(), pass.Position(atomicPos), atomicTypeName(v.Type()))
 				return true
 			})
 		}
 	}
+}
+
+// atomicFuncSuffix maps a field's basic type to the sync/atomic function
+// suffix ("" when sync/atomic has no Load/Store/Add family for it).
+func atomicFuncSuffix(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64:
+		return "Uint64"
+	case types.Uintptr:
+		return "Uintptr"
+	}
+	return ""
+}
+
+// atomicFix builds the suggested rewrite for one bare access of field v at
+// sel, classified by its parent nodes, or nil when no mechanical rewrite is
+// safe. Note a fixed `x.f = x.f + 1` becomes Store(..., Load(...)+1) — each
+// access atomic, but not one atomic increment; write x.f += 1 to get Add.
+func atomicFix(f *ast.File, info *types.Info, stack []ast.Node, sel *ast.SelectorExpr, v *types.Var) []TextEdit {
+	suffix := atomicFuncSuffix(v.Type())
+	if suffix == "" {
+		return nil
+	}
+	pkgName := importedName(f, "sync/atomic", "atomic")
+	addr := "&" + types.ExprString(sel)
+	withImport := func(edits []TextEdit) []TextEdit {
+		if imp, ok := ensureImport(f, "sync/atomic"); ok {
+			edits = append(edits, imp)
+		}
+		return edits
+	}
+	// parent skips interposed ParenExprs: (x.f) reads still classify.
+	var parent ast.Node
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		parent = stack[i]
+		break
+	}
+	signed := strings.HasPrefix(suffix, "Int")
+	switch p := parent.(type) {
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return nil // &x.f escaping to non-atomic code: not mechanical
+		}
+	case *ast.IncDecStmt:
+		delta := "1"
+		if p.Tok == token.DEC {
+			if !signed {
+				return nil // -1 has no literal spelling for unsigned Add
+			}
+			delta = "-1"
+		}
+		return withImport([]TextEdit{{
+			Pos: p.Pos(), End: p.End(),
+			New: pkgName + ".Add" + suffix + "(" + addr + ", " + delta + ")",
+		}})
+	case *ast.AssignStmt:
+		// Only the sole-target forms rewrite mechanically.
+		if len(p.Lhs) == 1 && len(p.Rhs) == 1 && ast.Unparen(p.Lhs[0]) == sel {
+			rhs := p.Rhs[0]
+			switch p.Tok {
+			case token.ASSIGN:
+				return withImport([]TextEdit{
+					{Pos: p.Pos(), End: rhs.Pos(), New: pkgName + ".Store" + suffix + "(" + addr + ", "},
+					{Pos: p.End(), End: p.End(), New: ")"},
+				})
+			case token.ADD_ASSIGN:
+				return withImport([]TextEdit{
+					{Pos: p.Pos(), End: rhs.Pos(), New: pkgName + ".Add" + suffix + "(" + addr + ", "},
+					{Pos: p.End(), End: p.End(), New: ")"},
+				})
+			case token.SUB_ASSIGN:
+				if !signed {
+					return nil
+				}
+				return withImport([]TextEdit{
+					{Pos: p.Pos(), End: rhs.Pos(), New: pkgName + ".Add" + suffix + "(" + addr + ", -("},
+					{Pos: p.End(), End: p.End(), New: "))"},
+				})
+			}
+			return nil
+		}
+		// sel on the left of a multi-assignment: not mechanical. On the
+		// right it is a plain read, handled below.
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == sel {
+				return nil
+			}
+		}
+	}
+	// Default: a value read.
+	return withImport([]TextEdit{{
+		Pos: sel.Pos(), End: sel.End(),
+		New: pkgName + ".Load" + suffix + "(" + addr + ")",
+	}})
 }
 
 // fieldVar resolves a selector to the struct field it names, or nil for

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The module-wide static call graph, the first half of the fact layer
+// (facts.go holds the constant resolver). Nodes are *types.Func objects —
+// the Loader checks every package in one shared object space, so a function
+// is one node no matter how many packages call it. Edges are collected from
+// one walk over every file in the analysis set:
+//
+//   - direct calls: f() and x.M() add an edge to the resolved callee;
+//   - method values and function values: mentioning a function as a value
+//     (handler := s.serve, go run(worker), sort.Slice(x, less)) adds an
+//     edge to it — the graph over-approximates "may call", which is the
+//     right direction for the invariants built on it (a test that captures
+//     harness.ResetTraceCache in a closure can call it);
+//   - func literals: a literal's body is attributed to the enclosing
+//     declared function, so calls made inside t.Run(..., func(t *testing.T)
+//     {...}) are edges out of the enclosing test;
+//   - package-level initializers: calls in var declarations are attributed
+//     to a per-package init node, so "registered at init" call sites still
+//     have a caller.
+//
+// Dynamic dispatch through interfaces and stored function values is not
+// resolved; analyzers that need soundness there (paratest) pair the graph
+// with the value-reference edges above, which catch the capture site.
+type CallGraph struct {
+	// edges maps caller → callee set, callees in deterministic order.
+	edges map[*types.Func][]*types.Func
+	// sites indexes every static call expression by its resolved callee.
+	sites map[*types.Func][]CallSite
+	// reach memoizes ReachableFrom closures.
+	reach map[*types.Func]map[*types.Func]bool
+}
+
+// CallSite is one static call of a resolved function.
+type CallSite struct {
+	// Pkg is the package the call appears in; Call the expression.
+	Pkg  *Package
+	Call *ast.CallExpr
+	// Caller is the enclosing declared function, or the package's synthetic
+	// init node for calls in package-level initializers.
+	Caller *types.Func
+}
+
+// buildCallGraph walks every file of pkgs once and assembles the graph.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		edges: map[*types.Func][]*types.Func{},
+		sites: map[*types.Func][]CallSite{},
+		reach: map[*types.Func]map[*types.Func]bool{},
+	}
+	edgeSet := map[*types.Func]map[*types.Func]bool{}
+	addEdge := func(from, to *types.Func) {
+		if from == nil || to == nil {
+			return
+		}
+		s := edgeSet[from]
+		if s == nil {
+			s = map[*types.Func]bool{}
+			edgeSet[from] = s
+		}
+		s[to] = true
+	}
+	for _, pkg := range pkgs {
+		// initNode anchors package-level initializer calls. types.Signature
+		// must be non-nil for a *types.Func; an empty one is fine.
+		initNode := types.NewFunc(0, pkg.Pkg, "init#binelint", types.NewSignatureType(nil, nil, nil, nil, nil, false))
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					fn, _ := pkg.Info.Defs[d.Name].(*types.Func)
+					if fn == nil || d.Body == nil {
+						continue
+					}
+					g.walkBody(pkg, fn, d.Body, addEdge)
+				case *ast.GenDecl:
+					g.walkBody(pkg, initNode, d, addEdge)
+				}
+			}
+		}
+	}
+	for from, set := range edgeSet {
+		out := make([]*types.Func, 0, len(set))
+		for to := range set {
+			out = append(out, to)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Pos() != out[j].Pos() {
+				return out[i].Pos() < out[j].Pos()
+			}
+			return out[i].Id() < out[j].Id()
+		})
+		g.edges[from] = out
+	}
+	return g
+}
+
+// walkBody collects edges and call sites out of one declared function (or a
+// package's init node) into the graph.
+func (g *CallGraph) walkBody(pkg *Package, caller *types.Func, root ast.Node, addEdge func(from, to *types.Func)) {
+	info := pkg.Info
+	// calleeIdents marks identifiers consumed as the callee of a direct
+	// call, so the value-reference pass below doesn't double-count them.
+	calleeIdents := map[*ast.Ident]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil {
+				addEdge(caller, fn)
+				g.sites[fn] = append(g.sites[fn], CallSite{Pkg: pkg, Call: x, Caller: caller})
+				switch fun := ast.Unparen(x.Fun).(type) {
+				case *ast.Ident:
+					calleeIdents[fun] = true
+				case *ast.SelectorExpr:
+					calleeIdents[fun.Sel] = true
+				}
+			}
+		case *ast.Ident:
+			if calleeIdents[x] {
+				return true
+			}
+			if fn, ok := info.Uses[x].(*types.Func); ok {
+				// Method value, function value, or conversion argument:
+				// referencing the function may invoke it later.
+				addEdge(caller, fn)
+			}
+		}
+		return true
+	})
+}
+
+// Callees returns fn's direct callees in deterministic order.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func { return g.edges[fn] }
+
+// Sites returns every static call site of fn across the analysis set.
+func (g *CallGraph) Sites(fn *types.Func) []CallSite { return g.sites[fn] }
+
+// SitesMatching returns the call sites of every function match reports true
+// for, in deterministic position order — how analyzers find "all calls to
+// obs.(*Registry).Counter" without holding the object handle.
+func (g *CallGraph) SitesMatching(match func(*types.Func) bool) []CallSite {
+	var out []CallSite
+	for fn, sites := range g.sites {
+		if match(fn) {
+			out = append(out, sites...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Call.Pos() < out[j].Call.Pos() })
+	return out
+}
+
+// ReachableFrom returns the transitive callee closure of fn (fn excluded
+// unless it reaches itself), memoized across queries.
+func (g *CallGraph) ReachableFrom(fn *types.Func) map[*types.Func]bool {
+	if r, ok := g.reach[fn]; ok {
+		return r
+	}
+	seen := map[*types.Func]bool{}
+	stack := append([]*types.Func(nil), g.edges[fn]...)
+	for len(stack) > 0 {
+		next := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[next] {
+			continue
+		}
+		seen[next] = true
+		stack = append(stack, g.edges[next]...)
+	}
+	g.reach[fn] = seen
+	return seen
+}
+
+// Reaches reports whether from can transitively call to.
+func (g *CallGraph) Reaches(from, to *types.Func) bool {
+	return g.ReachableFrom(from)[to]
+}
+
+// FindReachable searches fn's callee closure breadth-first for a function
+// match reports true for, returning the call chain from fn to it (fn first,
+// match last), or nil. Breadth-first, so the chain is a shortest one and
+// deterministic given the ordered edge lists.
+func (g *CallGraph) FindReachable(fn *types.Func, match func(*types.Func) bool) []*types.Func {
+	type hop struct {
+		fn   *types.Func
+		prev *hop
+	}
+	seen := map[*types.Func]bool{fn: true}
+	queue := []*hop{{fn: fn}}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		for _, next := range g.edges[h.fn] {
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			nh := &hop{fn: next, prev: h}
+			if match(next) {
+				var chain []*types.Func
+				for cur := nh; cur != nil; cur = cur.prev {
+					chain = append(chain, cur.fn)
+				}
+				for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+					chain[i], chain[j] = chain[j], chain[i]
+				}
+				return chain
+			}
+			queue = append(queue, nh)
+		}
+	}
+	return nil
+}

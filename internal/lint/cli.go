@@ -25,8 +25,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of file:line text")
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	fix := fs.Bool("fix", false, "apply suggested fixes to the source files (gofmt-clean, idempotent)")
+	diff := fs.Bool("diff", false, "with -fix: print the patch to stdout instead of writing files (findings go to stderr)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: binelint [-json] [-rules rule,...] [./... | dir ...]\n\nrules:\n")
+		fmt.Fprintf(stderr, "usage: binelint [-json] [-fix [-diff]] [-rules rule,...] [./... | dir ...]\n\nrules:\n")
 		for _, a := range Analyzers() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -35,18 +37,26 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return ExitError
 	}
+	if *diff && !*fix {
+		fmt.Fprintf(stderr, "binelint: -diff requires -fix\n")
+		return ExitError
+	}
 
 	analyzers := Analyzers()
 	if *rules != "" {
 		byName := map[string]*Analyzer{}
+		known := make([]string, 0, len(analyzers))
 		for _, a := range analyzers {
 			byName[a.Name] = a
+			known = append(known, a.Name)
 		}
 		analyzers = nil
 		for _, name := range strings.Split(*rules, ",") {
 			a := byName[strings.TrimSpace(name)]
 			if a == nil {
-				fmt.Fprintf(stderr, "binelint: unknown rule %q\n", name)
+				// A typo must not silently narrow the run: name the known
+				// rules and refuse.
+				fmt.Fprintf(stderr, "binelint: unknown rule %q (known rules: %s)\n", name, strings.Join(known, ", "))
 				return ExitError
 			}
 			analyzers = append(analyzers, a)
@@ -100,14 +110,30 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		add([]*Package{pkg})
 	}
 
-	findings := Run(ldr, pkgs, analyzers)
+	findings, err := Run(ldr, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "binelint: %v\n", err)
+		return ExitError
+	}
+	if *fix {
+		// -fix writes files in place; -fix -diff keeps stdout a pure patch
+		// (findings move to stderr) so CI can assert patch emptiness.
+		if _, err := ApplyFixes(ldr, findings, !*diff, stdout); err != nil {
+			fmt.Fprintf(stderr, "binelint: %v\n", err)
+			return ExitError
+		}
+	}
+	findingsOut := stdout
+	if *fix && *diff {
+		findingsOut = stderr
+	}
 	if *jsonOut {
-		if err := WriteJSON(stdout, findings); err != nil {
+		if err := WriteJSON(findingsOut, findings); err != nil {
 			fmt.Fprintf(stderr, "binelint: %v\n", err)
 			return ExitError
 		}
 	} else {
-		WriteText(stdout, findings)
+		WriteText(findingsOut, findings)
 	}
 	if len(findings) > 0 {
 		return ExitFindings

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// factsFixture loads the callgraph driver-test package and builds its fact
+// layer.
+func factsFixture(t *testing.T) (*Package, *Facts) {
+	t.Helper()
+	_, pkgs := loadGolden(t, "testdata/src/callgraph")
+	return pkgs[0], NewFacts(pkgs)
+}
+
+// pkgFunc resolves a package-level function of the fixture by name.
+func pkgFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	fn, _ := pkg.Pkg.Scope().Lookup(name).(*types.Func)
+	if fn == nil {
+		t.Fatalf("function %s not found in %s", name, pkg.Path)
+	}
+	return fn
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	pkg, facts := factsFixture(t)
+	g := facts.Graph
+	a, b, c := pkgFunc(t, pkg, "A"), pkgFunc(t, pkg, "B"), pkgFunc(t, pkg, "C")
+
+	// Direct edge.
+	if !g.Reaches(a, b) {
+		t.Error("missing direct edge A → B")
+	}
+	// Transitive closure, and its direction.
+	if !g.Reaches(a, c) {
+		t.Error("missing transitive reach A → C")
+	}
+	if g.Reaches(c, a) {
+		t.Error("reverse reach C → A must not exist")
+	}
+	// FindReachable returns the shortest chain, source first.
+	chain := g.FindReachable(a, func(fn *types.Func) bool { return fn == c })
+	if len(chain) != 3 || chain[0] != a || chain[1] != b || chain[2] != c {
+		t.Errorf("FindReachable(A, C) = %v, want [A B C]", chain)
+	}
+
+	// Method value: mentioning s.M without calling it is a may-call edge.
+	s, _ := pkg.Pkg.Scope().Lookup("S").(*types.TypeName)
+	if s == nil {
+		t.Fatal("type S not found")
+	}
+	var m *types.Func
+	named := s.Type().(*types.Named)
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "M" {
+			m = named.Method(i)
+		}
+	}
+	if m == nil {
+		t.Fatal("method S.M not found")
+	}
+	if !g.Reaches(pkgFunc(t, pkg, "UsesMethodValue"), m) {
+		t.Error("missing method-value edge UsesMethodValue → S.M")
+	}
+
+	// Func literal: the literal's body belongs to the enclosing function.
+	if !g.Reaches(pkgFunc(t, pkg, "UsesLiteral"), c) {
+		t.Error("missing func-literal edge UsesLiteral → C")
+	}
+
+	// Package-level initializer calls hang off the synthetic init node.
+	seed := pkgFunc(t, pkg, "seed")
+	sites := g.Sites(seed)
+	if len(sites) != 1 {
+		t.Fatalf("seed has %d call sites, want 1", len(sites))
+	}
+	if got := sites[0].Caller.Name(); got != "init#binelint" {
+		t.Errorf("initializer call attributed to %q, want init#binelint", got)
+	}
+}
+
+func TestStringConstResolver(t *testing.T) {
+	pkg, facts := factsFixture(t)
+	sink := pkgFunc(t, pkg, "sink")
+	sites := facts.Graph.Sites(sink)
+	if len(sites) != 1 {
+		t.Fatalf("sink has %d call sites, want 1", len(sites))
+	}
+	args := sites[0].Call.Args
+	if len(args) != 4 {
+		t.Fatalf("sink call has %d args, want 4", len(args))
+	}
+	cases := []struct {
+		name string
+		want string
+		ok   bool
+	}{
+		{"const via concatenation", "golden_name", true},
+		{"var with constant initializer", "golden_name", true},
+		{"var reassigned elsewhere", "", false},
+		{"inline concatenation", "golden_suffix", true},
+	}
+	for i, c := range cases {
+		got, ok := facts.StringConst(pkg, args[i])
+		if ok != c.ok || got != c.want {
+			t.Errorf("%s: StringConst = (%q, %v), want (%q, %v)", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The -fix engine: analyzers attach machine-applicable TextEdits to
+// findings (Pass.ReportfFix); ApplyFixes splices them into the source,
+// gofmt-formats the result, and either writes the files in place or prints
+// a unified diff (-fix -diff). Application is idempotent by construction —
+// an applied fix removes the finding that carried it, so a second run
+// produces zero edits — and conflicting fixes (overlapping edits from two
+// findings) are resolved by applying the first and leaving the second
+// unfixed for the next run.
+
+// TextEdit replaces the source range [Pos, End) with New. Pos == End
+// inserts.
+type TextEdit struct {
+	Pos, End token.Pos
+	New      string
+}
+
+// offsetEdit is a TextEdit resolved to byte offsets in one file.
+type offsetEdit struct {
+	start, end int
+	text       string
+}
+
+// ApplyFixes applies the suggested edits of findings, marking each finding
+// it applies as Fixed. With write set, files are rewritten in place
+// (gofmt-formatted); otherwise a unified diff of what would change is
+// written to diffOut. It returns the number of findings applied.
+func ApplyFixes(ldr *Loader, findings []Finding, write bool, diffOut io.Writer) (int, error) {
+	// Group fixable findings by file, preserving finding order.
+	type fileFix struct {
+		abs      string
+		findings []int
+	}
+	byFile := map[string]*fileFix{}
+	var order []string
+	for i := range findings {
+		if len(findings[i].edits) == 0 {
+			continue
+		}
+		abs := ldr.Fset.Position(findings[i].edits[0].Pos).Filename
+		ff := byFile[abs]
+		if ff == nil {
+			ff = &fileFix{abs: abs}
+			byFile[abs] = ff
+			order = append(order, abs)
+		}
+		ff.findings = append(ff.findings, i)
+	}
+	sort.Strings(order)
+
+	applied := 0
+	for _, abs := range order {
+		ff := byFile[abs]
+		src, err := os.ReadFile(abs)
+		if err != nil {
+			return applied, err
+		}
+		var accepted []offsetEdit
+		var fixedHere []int
+		for _, fi := range ff.findings {
+			edits, ok := resolveEdits(ldr.Fset, findings[fi].edits, abs, len(src))
+			if ok {
+				ok = compatible(accepted, edits)
+			}
+			if !ok {
+				continue // conflicting or malformed fix: leave for the next run
+			}
+			accepted = mergeEdits(accepted, edits)
+			fixedHere = append(fixedHere, fi)
+		}
+		if len(accepted) == 0 {
+			continue
+		}
+		out := splice(src, accepted)
+		formatted, err := format.Source(out)
+		if err != nil {
+			// A fix that produces unparseable code is a bug in the analyzer;
+			// surface it rather than writing a broken file.
+			return applied, fmt.Errorf("lint: fix for %s produced invalid Go: %v", abs, err)
+		}
+		if write {
+			info, err := os.Stat(abs)
+			if err != nil {
+				return applied, err
+			}
+			if err := os.WriteFile(abs, formatted, info.Mode().Perm()); err != nil {
+				return applied, err
+			}
+		} else if diffOut != nil {
+			rel := abs
+			if r, err := filepath.Rel(ldr.ModRoot, abs); err == nil && !strings.HasPrefix(r, "..") {
+				rel = filepath.ToSlash(r)
+			}
+			writeUnifiedDiff(diffOut, rel, src, formatted)
+		}
+		for _, fi := range fixedHere {
+			findings[fi].Fixed = true
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// resolveEdits converts a finding's edits to sorted byte offsets in file
+// abs, rejecting edits outside the file or spanning files.
+func resolveEdits(fset *token.FileSet, edits []TextEdit, abs string, size int) ([]offsetEdit, bool) {
+	out := make([]offsetEdit, 0, len(edits))
+	for _, e := range edits {
+		p, q := fset.Position(e.Pos), fset.Position(e.End)
+		if p.Filename != abs || q.Filename != abs || p.Offset > q.Offset || q.Offset > size {
+			return nil, false
+		}
+		out = append(out, offsetEdit{start: p.Offset, end: q.Offset, text: e.New})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].start != out[j].start {
+			return out[i].start < out[j].start
+		}
+		if out[i].end != out[j].end {
+			return out[i].end < out[j].end
+		}
+		return out[i].text < out[j].text
+	})
+	// A single finding's own edits must not overlap each other.
+	for i := 1; i < len(out); i++ {
+		if overlaps(out[i-1], out[i]) && out[i-1] != out[i] {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// overlaps reports whether two offset edits collide: ranges intersect, or a
+// non-identical insertion coincides with a replacement boundary start.
+func overlaps(a, b offsetEdit) bool {
+	if a.start > b.start {
+		a, b = b, a
+	}
+	if a == b {
+		return false // identical edits merge (duplicate import inserts)
+	}
+	return b.start < a.end
+}
+
+// compatible reports whether edits can join accepted without collisions.
+func compatible(accepted, edits []offsetEdit) bool {
+	for _, e := range edits {
+		for _, a := range accepted {
+			if a != e && overlaps(a, e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mergeEdits unions edits into accepted, dropping exact duplicates, and
+// returns the combined sorted list.
+func mergeEdits(accepted, edits []offsetEdit) []offsetEdit {
+	for _, e := range edits {
+		dup := false
+		for _, a := range accepted {
+			if a == e {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			accepted = append(accepted, e)
+		}
+	}
+	sort.Slice(accepted, func(i, j int) bool {
+		if accepted[i].start != accepted[j].start {
+			return accepted[i].start < accepted[j].start
+		}
+		if accepted[i].end != accepted[j].end {
+			return accepted[i].end < accepted[j].end
+		}
+		return accepted[i].text < accepted[j].text
+	})
+	return accepted
+}
+
+// splice applies sorted non-overlapping edits to src.
+func splice(src []byte, edits []offsetEdit) []byte {
+	var out []byte
+	last := 0
+	for _, e := range edits {
+		out = append(out, src[last:e.start]...)
+		out = append(out, e.text...)
+		last = e.end
+	}
+	return append(out, src[last:]...)
+}
+
+// ensureImport returns an edit adding an import of path to f, or no edit if
+// f already imports it. The insertion lands inside the first import block
+// (or as a new import declaration after the package clause) and relies on
+// the post-splice gofmt pass for final layout.
+func ensureImport(f *ast.File, path string) (TextEdit, bool) {
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return TextEdit{}, false
+		}
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			return TextEdit{Pos: gd.Lparen + 1, End: gd.Lparen + 1, New: "\n\t" + strconv.Quote(path)}, true
+		}
+		// Single-spec form: import "x" → import ("x"; path)
+		return TextEdit{Pos: gd.End(), End: gd.End(), New: "\nimport " + strconv.Quote(path)}, true
+	}
+	// No imports at all: add a declaration right after the package clause.
+	return TextEdit{Pos: f.Name.End(), End: f.Name.End(), New: "\n\nimport " + strconv.Quote(path)}, true
+}
+
+// writeUnifiedDiff prints a minimal unified diff (3 context lines) between
+// a and b under the module-relative name rel.
+func writeUnifiedDiff(w io.Writer, rel string, a, b []byte) {
+	al, bl := splitLines(a), splitLines(b)
+	ops := diffLines(al, bl)
+	if len(ops) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "--- a/%s\n+++ b/%s\n", rel, rel)
+	const ctx = 3
+	for h := 0; h < len(ops); {
+		// A hunk spans from ctx lines before the first change to ctx lines
+		// after the last change closer than 2*ctx to its neighbor.
+		end := h + 1
+		for end < len(ops) && ops[end].aLine-ops[end-1].aEnd() <= 2*ctx {
+			end++
+		}
+		aStart := max(0, ops[h].aLine-ctx)
+		aEnd := min(len(al), ops[end-1].aEnd()+ctx)
+		bStart := max(0, ops[h].bLine-ctx)
+		bEnd := min(len(bl), ops[end-1].bEnd()+ctx)
+		fmt.Fprintf(w, "@@ -%d,%d +%d,%d @@\n", aStart+1, aEnd-aStart, bStart+1, bEnd-bStart)
+		aPos := aStart
+		for _, op := range ops[h:end] {
+			for ; aPos < op.aLine; aPos++ {
+				fmt.Fprintf(w, " %s\n", al[aPos])
+			}
+			for _, l := range op.del {
+				fmt.Fprintf(w, "-%s\n", l)
+			}
+			for _, l := range op.ins {
+				fmt.Fprintf(w, "+%s\n", l)
+			}
+			aPos = op.aEnd()
+		}
+		for ; aPos < aEnd; aPos++ {
+			fmt.Fprintf(w, " %s\n", al[aPos])
+		}
+		h = end
+	}
+}
+
+func splitLines(b []byte) []string {
+	s := string(b)
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// diffOp is one contiguous change: del lines removed at aLine, ins lines
+// added at bLine.
+type diffOp struct {
+	aLine, bLine int
+	del, ins     []string
+}
+
+func (o diffOp) aEnd() int { return o.aLine + len(o.del) }
+func (o diffOp) bEnd() int { return o.bLine + len(o.ins) }
+
+// diffLines computes the line-level changes between a and b via a classic
+// LCS table — fine at source-file sizes, and dependency-free.
+func diffLines(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else {
+				lcs[i][j] = max(lcs[i+1][j], lcs[i][j+1])
+			}
+		}
+	}
+	var ops []diffOp
+	var cur *diffOp
+	flush := func() {
+		if cur != nil {
+			ops = append(ops, *cur)
+			cur = nil
+		}
+	}
+	i, j := 0, 0
+	for i < n || j < m {
+		switch {
+		case i < n && j < m && a[i] == b[j]:
+			flush()
+			i++
+			j++
+		case j < m && (i == n || lcs[i][j+1] >= lcs[i+1][j]):
+			if cur == nil {
+				cur = &diffOp{aLine: i, bLine: j}
+			}
+			cur.ins = append(cur.ins, b[j])
+			j++
+		default:
+			if cur == nil {
+				cur = &diffOp{aLine: i, bLine: j}
+			}
+			cur.del = append(cur.del, a[i])
+			i++
+		}
+	}
+	flush()
+	return ops
+}

@@ -18,20 +18,30 @@ import (
 
 // Analyzer is one rule. Per-package analyzers run once per package with
 // Pass.Pkg set; Global analyzers run once over the whole analysis set with
-// Pass.Pkg nil (atomicmix correlates accesses across packages).
+// Pass.Pkg nil (atomicmix correlates accesses across packages). Tests
+// analyzers (implies Global) run over the test-augmented package set —
+// every package re-checked with its _test.go files plus the external _test
+// packages — because their subject is the tests themselves (paratest).
 type Analyzer struct {
 	Name   string
 	Doc    string
 	Global bool
+	Tests  bool
 	Run    func(*Pass)
 }
 
 // Pass is one analyzer execution: the package under analysis (nil for
-// Global analyzers), the full analysis set, and the report sink.
+// Global analyzers), the full analysis set, the shared fact layer
+// (facts.go: call graph + constant resolver over that set), and the report
+// sink.
 type Pass struct {
 	Fset *token.FileSet
 	Pkg  *Package
 	Pkgs []*Package
+	// Facts is the fact layer over Pkgs. For a Tests analyzer it covers the
+	// union of the plain set and the test variants, so reachability can
+	// cross from a test into plain-package helpers and onward.
+	Facts *Facts
 
 	modRoot string
 	rule    string
@@ -40,6 +50,13 @@ type Pass struct {
 
 // Reportf files one finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfFix(pos, nil, format, args...)
+}
+
+// ReportfFix files one finding at pos carrying a machine-applicable fix:
+// edits that -fix applies (or -fix -diff prints). A nil or empty edits
+// slice degrades to a plain finding.
+func (p *Pass) ReportfFix(pos token.Pos, edits []TextEdit, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	file := position.Filename
 	if rel, err := filepath.Rel(p.modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
@@ -51,6 +68,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Line:    position.Line,
 		Col:     position.Column,
 		Message: fmt.Sprintf(format, args...),
+		edits:   edits,
 	})
 }
 
@@ -72,11 +90,17 @@ type Finding struct {
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Message string `json:"message"`
+	// Fixed reports that -fix applied this finding's suggested edits (CI
+	// reads it from -json to tell applied edits from residual findings).
+	Fixed bool `json:"fixed"`
+
+	// edits is the suggested fix, applied by ApplyFixes under -fix.
+	edits []TextEdit
 }
 
 // Analyzers returns the full rule suite in catalog order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{GoArg, CtxFlow, StageVocab, DetRange, AtomicMix, StorePerm}
+	return []*Analyzer{GoArg, CtxFlow, StageVocab, DetRange, AtomicMix, StorePerm, MetricName, TraceColRet, ParaTest}
 }
 
 // ignoreDirective is one parsed //binelint:ignore comment.
@@ -98,8 +122,13 @@ const ignorePrefix = "binelint:ignore"
 func collectIgnores(modRoot string, fset *token.FileSet, pkgs []*Package, out *[]Finding) map[string]map[int]*ignoreDirective {
 	ignores := map[string]map[int]*ignoreDirective{}
 	pass := &Pass{Fset: fset, modRoot: modRoot, rule: "binelint", out: out}
+	seen := map[*ast.File]bool{} // test variants share the plain files' ASTs
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
@@ -143,10 +172,41 @@ func (d *ignoreDirective) matches(rule string) bool {
 // sorted by file, line, column, rule. Findings matched by an ignore
 // directive are dropped; unused directives are reported (a stale ignore
 // hides nothing but misleads every future reader).
-func Run(ldr *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
+//
+// The fact layer (call graph + constant resolver) is computed once over
+// pkgs and shared by every analyzer through Pass.Facts. If any analyzer is
+// a Tests analyzer, the test variants of every package are loaded and
+// type-checked too, and those analyzers get the union set with its own
+// fact layer; loading or checking a test file failing is an analysis error
+// (the tree doesn't compile), not a finding.
+func Run(ldr *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	facts := NewFacts(pkgs)
+	var testPkgs []*Package
+	var testFacts *Facts
+	for _, a := range analyzers {
+		if !a.Tests {
+			continue
+		}
+		testPkgs = append(testPkgs, pkgs...)
+		for _, p := range pkgs {
+			tps, err := ldr.LoadTests(p)
+			if err != nil {
+				return nil, err
+			}
+			testPkgs = append(testPkgs, tps...)
+		}
+		testFacts = NewFacts(testPkgs)
+		break
+	}
+
 	var raw []Finding
 	for _, a := range analyzers {
-		pass := &Pass{Fset: ldr.Fset, Pkgs: pkgs, modRoot: ldr.ModRoot, rule: a.Name, out: &raw}
+		pass := &Pass{Fset: ldr.Fset, Pkgs: pkgs, Facts: facts, modRoot: ldr.ModRoot, rule: a.Name, out: &raw}
+		if a.Tests {
+			pass.Pkgs, pass.Facts = testPkgs, testFacts
+			a.Run(pass)
+			continue
+		}
 		if a.Global {
 			a.Run(pass)
 			continue
@@ -158,7 +218,11 @@ func Run(ldr *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
 	}
 
 	var diag []Finding
-	ignores := collectIgnores(ldr.ModRoot, ldr.Fset, pkgs, &diag)
+	ignorePkgs := pkgs
+	if testPkgs != nil {
+		ignorePkgs = testPkgs // superset; shared ASTs dedupe inside
+	}
+	ignores := collectIgnores(ldr.ModRoot, ldr.Fset, ignorePkgs, &diag)
 	var out []Finding
 	for _, f := range raw {
 		abs := f.File
@@ -204,13 +268,18 @@ func Run(ldr *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
+	return out, nil
 }
 
-// WriteText renders findings one per line: file:line: [rule] message.
+// WriteText renders findings one per line: file:line: [rule] message, with
+// a trailing "(fixed)" marker on findings -fix applied.
 func WriteText(w io.Writer, findings []Finding) {
 	for _, f := range findings {
-		fmt.Fprintf(w, "%s:%d: [%s] %s\n", f.File, f.Line, f.Rule, f.Message)
+		suffix := ""
+		if f.Fixed {
+			suffix = " (fixed)"
+		}
+		fmt.Fprintf(w, "%s:%d: [%s] %s%s\n", f.File, f.Line, f.Rule, f.Message, suffix)
 	}
 }
 

@@ -35,7 +35,7 @@ func TestWriteJSONShape(t *testing.T) {
 	if len(decoded) != 1 {
 		t.Fatalf("decoded %d findings, want 1", len(decoded))
 	}
-	for _, key := range []string{"rule", "file", "line", "col", "message"} {
+	for _, key := range []string{"rule", "file", "line", "col", "message", "fixed"} {
 		if _, ok := decoded[0][key]; !ok {
 			t.Errorf("JSON finding missing key %q: %v", key, decoded[0])
 		}
@@ -100,7 +100,22 @@ func TestMainExitCodes(t *testing.T) {
 		t.Errorf("-rules ctxflow on goarg package: code=%d out=%q, want clean", code, out)
 	}
 
-	if code, _, errb := runMain("-rules", "nonesuch", "testdata/src/clean"); code != ExitError || !strings.Contains(errb, "unknown rule") {
+	// An unknown rule refuses and names every known rule, so the caller can
+	// see the typo without a second invocation.
+	code, _, errb := runMain("-rules", "nonesuch", "testdata/src/clean")
+	if code != ExitError || !strings.Contains(errb, "unknown rule") {
 		t.Errorf("unknown rule: code=%d err=%q, want exit 2", code, errb)
+	}
+	if !strings.Contains(errb, "known rules:") {
+		t.Errorf("unknown-rule error does not list known rules: %q", errb)
+	}
+	for _, a := range Analyzers() {
+		if !strings.Contains(errb, a.Name) {
+			t.Errorf("unknown-rule error missing rule %q: %q", a.Name, errb)
+		}
+	}
+
+	if code, _, errb := runMain("-diff", "testdata/src/clean"); code != ExitError || !strings.Contains(errb, "-diff requires -fix") {
+		t.Errorf("-diff without -fix: code=%d err=%q, want exit 2", code, errb)
 	}
 }

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ParaTest guards the process-wide harness globals against parallel tests.
+// SetSynthesis, SetTraceStore, SetTraceStoreProbeInterval and
+// ResetTraceCache mutate state shared by every test in the binary; tests in
+// one package are serialized by default, so mutate-then-defer-restore is
+// safe — until someone adds t.Parallel(), at which point two tests race on
+// the resolver chain's configuration and fail (or worse, pass) depending on
+// interleaving. The reach is inherently transitive and cross-package: the
+// mutation usually hides inside a helper (often in another package), and
+// the t.Parallel call inside a t.Run closure — so the rule walks the fact
+// layer's call graph, which attributes func-literal bodies to the enclosing
+// test and follows method values, from every Test function.
+//
+// This is a Tests analyzer: it runs over the test-augmented package set the
+// driver's normal load deliberately excludes.
+var ParaTest = &Analyzer{
+	Name:   "paratest",
+	Doc:    "a test that (transitively) mutates the process-wide harness globals must not call t.Parallel",
+	Global: true,
+	Tests:  true,
+	Run:    runParaTest,
+}
+
+// paraTestMutators are the process-wide harness globals' mutators.
+var paraTestMutators = map[string]bool{
+	"SetSynthesis":               true,
+	"SetTraceStore":              true,
+	"SetTraceStoreProbeInterval": true,
+	"ResetTraceCache":            true,
+}
+
+func isHarnessMutator(fn *types.Func) bool {
+	return fn != nil && paraTestMutators[fn.Name()] &&
+		isPkgFunc(fn, fn.Name(), "internal", "harness")
+}
+
+// isTParallel matches (*testing.T).Parallel.
+func isTParallel(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Parallel" || fn.Pkg() == nil || fn.Pkg().Path() != "testing" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && namedRecvType(sig) == "T"
+}
+
+func runParaTest(pass *Pass) {
+	for _, pkg := range pass.Pkgs {
+		if !pkg.Test {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil || !isTestFuncName(fd.Name.Name) {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil || !isTestingTFunc(fn) {
+					continue
+				}
+				par := pass.Facts.Graph.FindReachable(fn, isTParallel)
+				if par == nil {
+					continue
+				}
+				mut := pass.Facts.Graph.FindReachable(fn, isHarnessMutator)
+				if mut == nil {
+					continue
+				}
+				pass.Reportf(fd.Name.Pos(),
+					"%s calls t.Parallel but mutates process-wide harness state (%s): a parallel test racing the resolver-chain globals corrupts every sibling test; drop t.Parallel or keep the mutation out of its reach",
+					fd.Name.Name, renderChain(mut))
+			}
+		}
+	}
+}
+
+// isTestFuncName matches the go test harness's Test function naming: "Test"
+// followed by nothing or a non-lowercase rune.
+func isTestFuncName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "Test")
+	if !ok {
+		return false
+	}
+	if rest == "" {
+		return true
+	}
+	r, _ := utf8.DecodeRuneInString(rest)
+	return !unicode.IsLower(r)
+}
+
+// isTestingTFunc reports whether fn takes exactly one *testing.T.
+func isTestingTFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		return false
+	}
+	p, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "T" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "testing"
+}
+
+// renderChain prints a call chain as "a → b → c".
+func renderChain(chain []*types.Func) string {
+	names := make([]string, len(chain))
+	for i, fn := range chain {
+		names[i] = fn.Name()
+	}
+	return strings.Join(names, " → ")
+}

@@ -1,0 +1,53 @@
+// Driver-test package for the fact layer: the call-graph construction test
+// (facts_test.go) asserts the edge kinds over these declarations, and the
+// constant-resolver test folds the strings reaching sink.
+package callgraph
+
+// Direct and transitive call edges: A → B → C.
+func A() { B() }
+
+func B() { C() }
+
+func C() {}
+
+type S struct{}
+
+func (s S) M() {}
+
+// A method value is an edge without a call expression.
+func UsesMethodValue() {
+	var s S
+	f := s.M
+	_ = f
+}
+
+// A func literal's body is attributed to the enclosing declared function.
+func UsesLiteral() {
+	f := func() { C() }
+	f()
+}
+
+// Package-level initializers get a synthetic per-package init node.
+var initCall = seed()
+
+func seed() int { return 1 }
+
+// ---- constant-resolver shapes ----
+
+const prefix = "golden_"
+
+const full = prefix + "name"
+
+// A var with a single literal-ish initializer folds like a constant...
+var indirect = full
+
+// ...unless it is assigned anywhere in the module.
+var reassigned = "first"
+
+func clobber() { reassigned = "second" }
+
+func sink(vals ...string) {}
+
+func uses() {
+	sink(full, indirect, reassigned, prefix+"suffix")
+}

@@ -1,0 +1,57 @@
+// Golden package for the metricname analyzer: every (name, labels) pair
+// reaching the registry is registered exactly once module-wide, one kind per
+// name. The fake internal/obs package supplies the Registry shape.
+package metricname
+
+import (
+	"binetrees/internal/lint/testdata/src/metricname/internal/obs"
+	"binetrees/internal/lint/testdata/src/metricname/names"
+)
+
+var reg = obs.Default()
+
+// Two owners of one unlabeled series.
+var dupFirst = reg.Counter("golden_dup_total", "first owner")
+var dupSecond = reg.Counter("golden_dup_total", "second owner") // want `metric "golden_dup_total" is already registered`
+
+// Same name with distinct constant label values is the per-decision pattern
+// (admission accept/reject counters) and must not be flagged...
+var labeledAccept = reg.Counter("golden_labeled_total", "h", "decision", "accept")
+var labeledReject = reg.Counter("golden_labeled_total", "h", "decision", "reject")
+
+// ...but repeating one of the pairs is two owners of one series again.
+var labeledDup = reg.Counter("golden_labeled_total", "h", "decision", "accept") // want `is already registered`
+
+// One name, two kinds: the registry panics at init of whichever package
+// loses; the analyzer reports it against the first registration.
+var kindFirst = reg.Counter("golden_kind_total", "h")
+var kindSecond = reg.Gauge("golden_kind_total", "h") // want `registered as a gauge here but as a counter`
+
+// A name spelled as a cross-package constant still participates.
+var sharedFirst = reg.Gauge(names.Shared, "h")
+var sharedSecond = reg.Gauge(names.Shared, "h") // want `metric "golden_shared_total" is already registered`
+
+// A package-level var with a literal initializer folds like a constant.
+var varName = "golden_var_total"
+
+var viaVarFirst = reg.Counter(varName, "h")
+var viaVarSecond = reg.Counter("golden_var_total", "h") // want `metric "golden_var_total" is already registered`
+
+// GaugeFunc and Histogram put the variadic labels after an extra argument;
+// the per-method label-start index must skip it.
+var gfFirst = reg.GaugeFunc(names.Joined, "h", func() float64 { return 0 }, "shard", "0")
+var gfSecond = reg.GaugeFunc(names.Joined, "h", func() float64 { return 0 }, "shard", "0") // want `metric "golden_joined_total" \{shard="0"\} is already registered`
+
+var histFirst = reg.Histogram("golden_lat_seconds", "h", []float64{1, 2}, "stage", "pack")
+var histSecond = reg.Histogram("golden_lat_seconds", "h", []float64{1, 2}, "stage", "pack") // want `metric "golden_lat_seconds" \{stage="pack"\} is already registered`
+
+// A runtime-built name is not statically checkable: skipped, not guessed.
+func dynamicName(name string) *obs.Counter {
+	return reg.Counter(name, "per-path counter: name arrives as a parameter")
+}
+
+// Non-constant labels exempt a site from the exactly-once check (it is
+// still kind-checked).
+func dynamicLabel(v string) *obs.Counter {
+	return reg.Counter("golden_labeled_total", "h", "decision", v)
+}

@@ -1,0 +1,10 @@
+// Cross-package constants for the metricname golden package: the analyzer's
+// constant folder must resolve names through an import.
+package names
+
+const Shared = "golden_shared_total"
+
+const prefix = "golden_"
+
+// Joined exercises constant folding of a concatenation.
+const Joined = prefix + "joined_total"

@@ -1,0 +1,9 @@
+// Fake harness for the paratest golden package: the process-wide mutators
+// the rule guards, under an import path ending in internal/harness.
+package harness
+
+func SetSynthesis(mode string) {}
+
+func SetTraceStore(dir string) {}
+
+func ResetTraceCache() {}

@@ -1,0 +1,17 @@
+// External test package: the rule must cover the foo_test variant too.
+package paratest_test
+
+import (
+	"testing"
+
+	"binetrees/internal/lint/testdata/src/paratest/internal/harness"
+)
+
+func TestExternalParallel(t *testing.T) { // want `TestExternalParallel calls t\.Parallel but mutates process-wide harness state`
+	t.Parallel()
+	harness.SetSynthesis("ext")
+}
+
+func TestExternalSerial(t *testing.T) {
+	harness.SetSynthesis("ext")
+}

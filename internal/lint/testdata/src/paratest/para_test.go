@@ -1,0 +1,44 @@
+package paratest
+
+import (
+	"testing"
+
+	"binetrees/internal/lint/testdata/src/paratest/internal/harness"
+)
+
+// Direct t.Parallel plus a mutation through the non-test helper.
+func TestParallelMutator(t *testing.T) { // want `TestParallelMutator calls t\.Parallel but mutates process-wide harness state \(TestParallelMutator → mutate → SetSynthesis\)`
+	t.Parallel()
+	mutate()
+}
+
+// The t.Parallel hides inside a t.Run closure (attributed to the enclosing
+// test) and the mutation behind a test-file helper.
+func TestParallelDeep(t *testing.T) { // want `TestParallelDeep calls t\.Parallel but mutates process-wide harness state`
+	t.Run("sub", func(t *testing.T) {
+		t.Parallel()
+	})
+	resetViaHelper()
+}
+
+func resetViaHelper() {
+	harness.ResetTraceCache()
+}
+
+// Capturing a mutator as a function value counts as reach: the stored value
+// may be invoked after the test goes parallel.
+func TestParallelCapture(t *testing.T) { // want `TestParallelCapture calls t\.Parallel but mutates process-wide harness state`
+	t.Parallel()
+	restore := harness.SetTraceStore
+	defer restore("")
+}
+
+// Parallel without mutation is fine.
+func TestParallelOnly(t *testing.T) {
+	t.Parallel()
+}
+
+// Mutation without t.Parallel is the safe serialized idiom.
+func TestMutatorOnly(t *testing.T) {
+	mutate()
+}

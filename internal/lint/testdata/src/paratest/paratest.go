@@ -1,0 +1,14 @@
+// Golden package for the paratest analyzer. The findings live in the
+// _test.go files next to this one — the rule runs over the test-augmented
+// load set — and the mutation helper lives here, in the non-test half of the
+// package, so the golden also pins that the in-package test variant shares
+// object identities with the plain files.
+package paratest
+
+import "binetrees/internal/lint/testdata/src/paratest/internal/harness"
+
+// mutate hides the harness mutation one call deep: the shape the rule's
+// transitive call-graph reach exists for.
+func mutate() {
+	harness.SetSynthesis("golden")
+}

@@ -1,0 +1,18 @@
+// Fake trace for the tracecolret golden package: the import path ends in
+// internal/fabric and the accessor methods hang off a type named Trace, the
+// two facts the analyzer matches on.
+package fabric
+
+type Trace struct {
+	from []int32
+}
+
+func New() *Trace { return &Trace{from: []int32{1, 2, 3}} }
+
+func (t *Trace) Records() []int32 {
+	out := make([]int32, len(t.from))
+	copy(out, t.from)
+	return out
+}
+
+func (t *Trace) At(i int) int32 { return t.from[i] }

@@ -1,0 +1,5 @@
+// Fake harness for the tracecolret golden package: supplies the cache-reset
+// entry point whose presence arms the rule.
+package harness
+
+func ResetTraceCache() {}

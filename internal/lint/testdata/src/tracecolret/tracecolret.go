@@ -1,0 +1,40 @@
+// Golden package for the tracecolret analyzer: accessor results stored into
+// targets that outlive the frame are flagged, because the analysis set
+// contains a call that can reach harness.ResetTraceCache (see cycle below).
+package tracecolret
+
+import (
+	"binetrees/internal/lint/testdata/src/tracecolret/internal/fabric"
+	"binetrees/internal/lint/testdata/src/tracecolret/internal/harness"
+)
+
+// cycle arms the rule: something in the analysis set drops the cache.
+func cycle() {
+	harness.ResetTraceCache()
+}
+
+type holder struct {
+	recs []int32
+}
+
+// A package-level initializer retains by construction.
+var cachedInit = fabric.New().Records() // want `retained in package variable cachedInit`
+
+var cached []int32
+
+var cells = map[string][]int32{}
+
+func retain(h *holder, tr *fabric.Trace) {
+	h.recs = tr.Records()     // want `\(\*fabric\.Trace\)\.Records result is retained in field recs`
+	cached = tr.Records()     // want `retained in package variable cached`
+	cells["a"] = tr.Records() // want `retained in an element of package variable cells`
+
+	// Appending accessor output to a retained slice is the same leak.
+	h.recs = append(h.recs, tr.At(0)) // want `\(\*fabric\.Trace\)\.At result is retained in field recs`
+
+	// Frame-local storage dies with the frame that resolved the trace.
+	local := tr.Records()
+	_ = local
+	var decl []int32 = tr.Records()
+	_ = decl
+}

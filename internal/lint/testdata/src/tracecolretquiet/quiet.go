@@ -1,0 +1,15 @@
+// Golden package pinning the tracecolret gate: the same retention shapes as
+// the tracecolret package, but nothing in this analysis set can reach
+// harness.ResetTraceCache — so nothing outlives a reset, and the analyzer
+// must stay silent. No want comments on purpose.
+package tracecolretquiet
+
+import "binetrees/internal/lint/testdata/src/tracecolretquiet/internal/fabric"
+
+var cachedInit = fabric.New().Records()
+
+var cached []int32
+
+func retain(tr *fabric.Trace) {
+	cached = tr.Records()
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TraceColRet guards against retaining views of a fabric.Trace's columnar
+// storage across the trace-cache lifecycle. A *fabric.Trace reaches callers
+// through the harness cache, and harness.ResetTraceCache drops every cached
+// entry — after which a re-resolved schedule rebuilds its columns from
+// scratch. Data pulled out of a trace through its accessor methods (At,
+// Records, Steps, the per-column From/To/Step/Sub/Elems, the construction
+// totals) is only coherent with the trace it came from: stash it in a
+// struct field or a package-level variable and it silently outlives the
+// reset, and whatever renders from it next mixes stale column data into an
+// artifact — byte-level corruption no equivalence suite catches, because
+// both runs read the same stale value.
+//
+// The rule is cross-package by nature: the store happens in one package,
+// the reset call in another. It fires only when the analysis set contains
+// an actual call that can reach harness.ResetTraceCache (the fact layer's
+// call graph answers that); flagged shapes are accessor results assigned to
+// struct fields, package-level variables, elements of either, or appended
+// to slices held in either. Locals are fine — they die with the frame that
+// resolved the trace.
+var TraceColRet = &Analyzer{
+	Name:   "tracecolret",
+	Doc:    "fabric.Trace accessor results must not be retained in fields or package vars across a ResetTraceCache boundary",
+	Global: true,
+	Run:    runTraceColRet,
+}
+
+// isTraceAccessor reports whether fn is a method on fabric.Trace.
+func isTraceAccessor(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || !pathSegments(fn.Pkg().Path(), "internal", "fabric") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && namedRecvType(sig) == "Trace"
+}
+
+func isResetTraceCache(fn *types.Func) bool {
+	return isPkgFunc(fn, "ResetTraceCache", "internal", "harness")
+}
+
+func runTraceColRet(pass *Pass) {
+	resets := pass.Facts.Graph.SitesMatching(isResetTraceCache)
+	if len(resets) == 0 {
+		return // nothing in the analysis set can drop the cached columns
+	}
+	resetAt := pass.Position(resets[0].Call.Pos())
+
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					if len(x.Lhs) != len(x.Rhs) {
+						return true
+					}
+					for i, rhs := range x.Rhs {
+						fn := accessorIn(info, rhs)
+						if fn == nil {
+							continue
+						}
+						if target := escapingTarget(pkg, info, x.Lhs[i]); target != "" {
+							pass.Reportf(rhs.Pos(),
+								"(*fabric.Trace).%s result is retained in %s, which outlives the trace cache: harness.ResetTraceCache (called at %s) drops the columns it reflects, leaving a stale view that corrupts whatever renders from it; keep accessor results frame-local",
+								fn.Name(), target, resetAt)
+						}
+					}
+				case *ast.ValueSpec:
+					// Package-level `var recs = tr.Records()` retains by
+					// construction; local specs arrive as DeclStmt-wrapped
+					// and are fine (handled by scope check below).
+					for _, v := range x.Values {
+						fn := accessorIn(info, v)
+						if fn == nil {
+							continue
+						}
+						for _, name := range x.Names {
+							if obj, ok := info.Defs[name].(*types.Var); ok && obj != nil && obj.Parent() == pkg.Pkg.Scope() {
+								pass.Reportf(v.Pos(),
+									"(*fabric.Trace).%s result is retained in package variable %s, which outlives the trace cache: harness.ResetTraceCache (called at %s) drops the columns it reflects; keep accessor results frame-local",
+									fn.Name(), name.Name, resetAt)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// accessorIn reports the Trace accessor a stored value originates from:
+// either the call itself, or an append whose added elements include one.
+func accessorIn(info *types.Info, e ast.Expr) *types.Func {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(info, call)
+	if isTraceAccessor(fn) {
+		return fn
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			for _, arg := range call.Args[1:] {
+				if inner := accessorIn(info, arg); inner != nil {
+					return inner
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// escapingTarget classifies an assignment target that outlives the frame:
+// a struct field, a package-level var, or an element of either (one index
+// deep). It returns a human-readable description, or "" for frame-local
+// targets.
+func escapingTarget(pkg *Package, info *types.Info, lhs ast.Expr) string {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if v := fieldVar(info, x); v != nil {
+			return "field " + v.Name()
+		}
+		// Qualified package var: pkg.Var = ...
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return "package variable " + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(x).(*types.Var); ok && v != nil && v.Parent() == pkg.Pkg.Scope() {
+			return "package variable " + v.Name()
+		}
+	case *ast.IndexExpr:
+		if inner := escapingTarget(pkg, info, x.X); inner != "" {
+			return "an element of " + inner
+		}
+	}
+	return ""
+}
